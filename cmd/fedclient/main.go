@@ -1,0 +1,54 @@
+// Command fedclient is one device of the distributed runtime: it
+// regenerates its data shard deterministically from the shared seed,
+// connects to a fedserver, and serves local-solve rounds until told to
+// stop. Start it with the same dataset flags and seed as the server.
+//
+// Example:
+//
+//	fedclient -addr localhost:7070 -id 0 -devices 3 -dataset synthetic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedproxvr/internal/clisetup"
+	"fedproxvr/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7070", "server address")
+		id      = flag.Int("id", 0, "this device's id in [0, devices)")
+		devices = flag.Int("devices", 3, "total device count (must match the server)")
+		dataset = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
+		samples = flag.Int("samples", 120, "image samples per class (image datasets)")
+		seed    = flag.Int64("seed", 2020, "shared experiment seed")
+	)
+	flag.Parse()
+
+	if *id < 0 || *id >= *devices {
+		fatal(fmt.Errorf("id %d outside [0,%d)", *id, *devices))
+	}
+	task, err := clisetup.Task(*dataset, "softmax", *devices, *samples, 1, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	shard := task.Part.Clients[*id]
+	fmt.Printf("fedclient %d: shard of %d samples, dialing %s\n", *id, shard.N(), *addr)
+
+	worker, err := transport.NewWorker(*addr, *id, shard, task.Model, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := worker.Serve(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fedclient %d: done\n", *id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedclient:", err)
+	os.Exit(1)
+}

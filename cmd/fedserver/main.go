@@ -1,0 +1,83 @@
+// Command fedserver is the coordinator of the distributed runtime: it
+// waits for -devices workers (cmd/fedclient) to connect over TCP, then
+// drives federated rounds and prints per-round metrics.
+//
+// Server and clients must be started with the same dataset flags and seed
+// so that every client regenerates its own shard deterministically (a real
+// deployment would read local data instead; the generator stands in for
+// it — see DESIGN.md).
+//
+// Example (one server, three clients):
+//
+//	fedserver -addr :7070 -devices 3 -dataset synthetic -rounds 50 &
+//	for i in 0 1 2; do fedclient -addr localhost:7070 -id $i -devices 3 -dataset synthetic & done
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fedproxvr/internal/clisetup"
+	"fedproxvr/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		devices = flag.Int("devices", 3, "number of workers to wait for")
+		dataset = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
+		samples = flag.Int("samples", 120, "image samples per class (image datasets)")
+		alg     = flag.String("alg", "sarah", "fedavg | fedprox | svrg | sarah")
+		beta    = flag.Float64("beta", 5, "step-size parameter β")
+		tau     = flag.Int("tau", 20, "local iterations τ")
+		mu      = flag.Float64("mu", 0.1, "proximal penalty μ")
+		batch   = flag.Int("batch", 16, "mini-batch size B")
+		rounds  = flag.Int("rounds", 50, "global iterations T")
+		seed    = flag.Int64("seed", 2020, "shared experiment seed")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-message network timeout")
+	)
+	flag.Parse()
+
+	task, err := clisetup.Task(*dataset, "softmax", *devices, *samples, 1, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := clisetup.Config(*alg, *beta, task.L, *mu, *tau, *batch, *rounds)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Seed = *seed
+	cfg.Test = task.Test
+
+	fmt.Printf("fedserver: waiting for %d workers on %s …\n", *devices, *addr)
+	coord, err := transport.NewCoordinator(*addr, *devices, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+	fmt.Printf("fedserver: all workers connected (weights %v)\n", coord.Weights())
+
+	w0 := make([]float64, task.Model.Dim())
+	if task.InitW != nil {
+		copy(w0, task.InitW)
+	}
+	start := time.Now()
+	_, series, err := coord.Train(w0, cfg, task.Model, task.Part.Clients)
+	if err != nil {
+		fatal(err)
+	}
+	coord.Shutdown()
+	if err := series.WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+	last, _ := series.Last()
+	fmt.Fprintf(os.Stderr, "fedserver: %d rounds in %s, final loss %.4f, acc %.2f%%\n",
+		*rounds, time.Since(start).Round(time.Millisecond), last.TrainLoss, last.TestAcc*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command paramopt regenerates Figure 1: it sweeps the weight factor
+// γ = d_cmp/d_com and, for each γ and heterogeneity level σ̄², numerically
+// solves the Section 4.3 training-time minimization (problem 23) over
+// (β, μ), printing the optimal β, μ, θ, τ, Θ and objective.
+//
+// Example:
+//
+//	paramopt -l 1 -lambda 0.5 -sigma2 0.5,1,2 -gamma-lo 1e-4 -gamma-hi 1e-1 -points 13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/theory"
+)
+
+func main() {
+	var (
+		l       = flag.Float64("l", 1, "smoothness constant L")
+		lambda  = flag.Float64("lambda", 0.5, "bounded non-convexity λ")
+		sigmas  = flag.String("sigma2", "0.5,1,2", "comma-separated σ̄² levels")
+		gammaLo = flag.Float64("gamma-lo", 1e-4, "smallest γ")
+		gammaHi = flag.Float64("gamma-hi", 1e-1, "largest γ")
+		points  = flag.Int("points", 13, "number of γ points (log-spaced)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	sigma2s, err := parseFloats(*sigmas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paramopt:", err)
+		os.Exit(1)
+	}
+	gammas := theory.LogSpace(*gammaLo, *gammaHi, *points)
+
+	if *csv {
+		fmt.Println("sigma2,gamma,beta,mu,theta,tau,fed_factor,objective,feasible")
+	}
+	var rows [][]string
+	for _, s2 := range sigma2s {
+		p := theory.Problem{L: *l, Lambda: *lambda, SigmaBar2: s2}
+		if err := p.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "paramopt:", err)
+			os.Exit(1)
+		}
+		for _, opt := range p.SweepGamma(gammas) {
+			if *csv {
+				fmt.Printf("%g,%g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%t\n",
+					s2, opt.Gamma, opt.Beta, opt.Mu, opt.Theta, opt.Tau,
+					opt.Fed, opt.Objective, opt.Feasible)
+				continue
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", s2),
+				fmt.Sprintf("%.3g", opt.Gamma),
+				fmt.Sprintf("%.4g", opt.Beta),
+				fmt.Sprintf("%.4g", opt.Mu),
+				fmt.Sprintf("%.4g", opt.Theta),
+				fmt.Sprintf("%.1f", opt.Tau),
+				fmt.Sprintf("%.4g", opt.Fed),
+				fmt.Sprintf("%.4g", opt.Objective),
+			})
+		}
+	}
+	if !*csv {
+		headers := []string{"σ̄²", "γ", "β*", "μ*", "θ", "τ", "Θ", "objective"}
+		if err := metrics.Table(os.Stdout, headers, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "paramopt:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+// Asynchronous extension example: the same FedProxVR local solver run
+// under the synchronous runtime and the asynchronous (staleness-decayed)
+// runtime, on a fleet where one quarter of the devices are 20× slower.
+// Synchronous rounds wait for the slowest device; async keeps the fast
+// ones busy, so it reaches the loss target in less simulated time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fedproxvr "fedproxvr"
+	"fedproxvr/internal/async"
+	"fedproxvr/internal/core"
+	"fedproxvr/internal/optim"
+	"fedproxvr/internal/simnet"
+)
+
+func main() {
+	const devices = 12
+	task := fedproxvr.SyntheticTask(fedproxvr.SyntheticOptions{
+		Devices: devices, MinSamples: 60, MaxSamples: 200, Seed: 17,
+	})
+	local := optim.LocalConfig{
+		Estimator: optim.SARAH,
+		Eta:       core.StepSize(5, task.L),
+		Tau:       10,
+		Batch:     16,
+		Mu:        2,
+	}
+	// A straggler-heavy fleet: compute speeds spread 20× log-uniformly.
+	profile := simnet.DeviceProfile{ComputePerIter: 0.01, Uplink: 0.05, Downlink: 0.05}
+	fleet := simnet.NewHeterogeneousFleet(devices, profile, 20, 17)
+	const target = 1.3
+
+	// Synchronous runtime under the same simulated clock.
+	syncCfg := core.Config{Name: "sync", Local: local, Rounds: 150, Seed: 17}
+	sr, err := core.NewRunner(task.Model, task.Part, syncCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	syncTS, err := simnet.Train(sr, fleet, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Asynchronous runtime.
+	asyncCfg := async.Config{
+		Name:           "async",
+		Local:          local,
+		Updates:        150 * devices,
+		Alpha0:         0.6,
+		StalenessPower: 0.5,
+		Seed:           17,
+	}
+	ar, err := async.NewRunner(task.Model, task.Part, fleet, asyncCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	asyncTS, err := ar.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fleet: %d devices, compute spread 20×, loss target %.2f\n\n", devices, target)
+	fmt.Printf("%-8s %18s %18s\n", "runtime", "time-to-target", "final loss")
+	fmt.Printf("%-8s %17.1fs %18.4f\n", "sync", syncTS.TimeToLoss(target),
+		syncTS.Points[len(syncTS.Points)-1].TrainLoss)
+	fmt.Printf("%-8s %17.1fs %18.4f\n", "async", asyncTS.TimeToLoss(target),
+		asyncTS.Points[len(asyncTS.Points)-1].TrainLoss)
+	fmt.Println("\nNote: async wins time-to-target under stragglers but plateaus at a")
+	fmt.Println("mixing-noise floor; sync reaches lower final loss given unlimited time.")
+}

@@ -1,0 +1,50 @@
+// Non-convex example: federated training of the paper's two-layer CNN
+// (thinned 4× for speed) on procedural digit images with the label-skew
+// partition (2 labels per device), comparing FedAvg with FedProxVR (SVRG).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fedproxvr "fedproxvr"
+	"fedproxvr/internal/metrics"
+)
+
+func main() {
+	task, err := fedproxvr.CNNTask(fedproxvr.ImageOptions{
+		Style:           fedproxvr.Digits,
+		Devices:         5,
+		SamplesPerClass: 80,
+		Seed:            11,
+	}, 4 /* width divisor: 8/16 channels instead of 32/64 */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CNN with %d parameters on %d devices (%d training images)\n",
+		task.Model.Dim(), len(task.Part.Clients), task.Part.TotalSamples())
+
+	const (
+		beta   = 5.0
+		tau    = 10
+		batch  = 32
+		mu     = 0.01
+		rounds = 12
+	)
+	for _, cfg := range []fedproxvr.Config{
+		fedproxvr.FedAvg(beta, task.L, tau, batch, rounds),
+		fedproxvr.FedProxVR(fedproxvr.SVRG, beta, task.L, mu, tau, batch, rounds),
+	} {
+		cfg.Seed = 11
+		cfg.Parallel = true
+		cfg.EvalEvery = 3
+		series, _, err := fedproxvr.Train(task, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last, _ := series.Last()
+		fmt.Printf("%-22s loss %.4f → %.4f | acc %5.2f%% | %s\n",
+			cfg.Name, series.Points[0].TrainLoss, last.TrainLoss,
+			last.TestAcc*100, metrics.Sparkline(series.Losses(), 24))
+	}
+}

@@ -1,0 +1,63 @@
+// Training-time optimization (Section 4.3): given measured per-round
+// communication delay d_com and per-iteration computation delay d_cmp,
+// numerically minimize the total training time 𝒯 = T·(d_com + d_cmp·τ)
+// over (β, μ) subject to the Lemma 1 / Theorem 1 convergence constraints,
+// then report the schedule a deployment would use.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/theory"
+)
+
+func main() {
+	// Assumption-1 constants (estimated by sampling the dataset, as the
+	// paper's Fig. 1 caption suggests) and a target accuracy.
+	problem := theory.Problem{L: 1, Lambda: 0.5, SigmaBar2: 1}
+	const (
+		delta   = 10.0 // initial objective gap Δ(w̄⁰)
+		epsilon = 0.01 // target stationarity ε
+	)
+
+	// Three deployment regimes: slow network, balanced, fast network.
+	regimes := []struct {
+		name string
+		tm   theory.TimingModel
+	}{
+		{"cellular (slow net)", theory.TimingModel{DCom: 2.0, DCmp: 0.0004}},
+		{"wifi (balanced)", theory.TimingModel{DCom: 0.2, DCmp: 0.002}},
+		{"datacenter (fast net)", theory.TimingModel{DCom: 0.01, DCmp: 0.001}},
+	}
+
+	rows := make([][]string, 0, len(regimes))
+	for _, r := range regimes {
+		gamma := r.tm.Gamma()
+		opt := problem.Minimize23(gamma)
+		if !opt.Feasible {
+			fmt.Printf("%s: infeasible (no Θ > 0)\n", r.name)
+			continue
+		}
+		rounds := theory.GlobalRounds(delta, epsilon, opt.Fed)
+		total := r.tm.TrainingTime(rounds, opt.Tau)
+		rows = append(rows, []string{
+			r.name,
+			fmt.Sprintf("%.2g", gamma),
+			fmt.Sprintf("%.1f", opt.Beta),
+			fmt.Sprintf("%.1f", opt.Mu),
+			fmt.Sprintf("%.0f", opt.Tau),
+			fmt.Sprintf("%.3f", opt.Theta),
+			fmt.Sprintf("%d", rounds),
+			fmt.Sprintf("%.0fs", total),
+		})
+	}
+	headers := []string{"regime", "γ", "β*", "μ*", "τ", "θ", "T", "𝒯 total"}
+	if err := metrics.Table(os.Stdout, headers, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nReading: slow networks favour many local iterations (large β → large τ);")
+	fmt.Println("fast networks favour frequent cheap rounds (small τ, larger μ to keep Θ > 0).")
+}

@@ -1,0 +1,3 @@
+module fedproxvr
+
+go 1.22

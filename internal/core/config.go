@@ -1,0 +1,184 @@
+// Package core implements the federated-learning runtime of the paper:
+// FedProxVR (Algorithm 1) with SVRG or SARAH local estimators, and the
+// SGD-based FedAvg and FedProx baselines it is evaluated against. A Runner
+// executes synchronous global rounds — broadcast the global model, solve
+// every device's proximal surrogate locally (optionally in parallel
+// goroutines), aggregate by data-size weights — and records the per-round
+// metrics the paper's figures plot.
+package core
+
+import (
+	"fmt"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/optim"
+	"fedproxvr/internal/theory"
+)
+
+// Config describes one federated training run.
+type Config struct {
+	// Name labels the output series (e.g. "FedProxVR (SARAH)").
+	Name string
+	// Local is the device-side inner-loop configuration (estimator, η, τ,
+	// batch, μ).
+	Local optim.LocalConfig
+	// Rounds is the number of global iterations T.
+	Rounds int
+	// EvalEvery computes metrics every k rounds (default 1). Metrics are
+	// also always computed at the final round.
+	EvalEvery int
+	// Test, if non-nil, is the held-out set used for accuracy.
+	Test *data.Dataset
+	// TrackStationarity adds ‖∇F̄(w̄)‖² (one full-data gradient pass per
+	// evaluation) to the series — the paper's convergence indicator (12).
+	TrackStationarity bool
+	// Parallel fans the devices of each round out to GOMAXPROCS workers.
+	// Results are identical to the sequential schedule because every device
+	// owns an independent RNG stream.
+	Parallel bool
+	// ClientFraction samples this fraction of devices per round (default 1,
+	// as in the paper, where all devices participate).
+	ClientFraction float64
+	// DropoutProb is the probability that a participating device fails to
+	// report its round (battery, network loss). The server aggregates over
+	// the survivors, reweighting by their data sizes; if every device
+	// drops, the global model is unchanged that round. 0 disables failure
+	// injection.
+	DropoutProb float64
+	// DPClip, when positive, clips every device's round update
+	// Δ_n = w_n − w̄ to at most this L2 norm before aggregation — the
+	// update-norm bounding step of DP-FedAvg. 0 disables clipping.
+	DPClip float64
+	// DPNoise, when positive, adds iid N(0, (DPNoise·DPClip)²) noise to
+	// every coordinate of the aggregated update (requires DPClip > 0).
+	// This is the mechanism of DP-FedAvg without a formal (ε, δ)
+	// accountant; see the privacy note in DESIGN.md.
+	DPNoise float64
+	// Seed drives every random choice in the run.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Local.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("core: Rounds must be ≥ 1, got %d", c.Rounds)
+	}
+	if c.EvalEvery < 0 {
+		return fmt.Errorf("core: EvalEvery must be ≥ 0, got %d", c.EvalEvery)
+	}
+	if c.ClientFraction < 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("core: ClientFraction must be in [0,1], got %v", c.ClientFraction)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("core: DropoutProb must be in [0,1), got %v", c.DropoutProb)
+	}
+	if c.DPClip < 0 {
+		return fmt.Errorf("core: DPClip must be non-negative, got %v", c.DPClip)
+	}
+	if c.DPNoise < 0 {
+		return fmt.Errorf("core: DPNoise must be non-negative, got %v", c.DPNoise)
+	}
+	if c.DPNoise > 0 && c.DPClip == 0 {
+		return fmt.Errorf("core: DPNoise requires DPClip > 0 (noise scales with the clip bound)")
+	}
+	return nil
+}
+
+// StepSize returns η = 1/(βL) — the paper's parametrized step size.
+func StepSize(beta, l float64) float64 {
+	if beta <= 0 || l <= 0 {
+		panic("core: beta and L must be positive")
+	}
+	return 1 / (beta * l)
+}
+
+// FedAvg returns the configuration of the SGD baseline of McMahan et al.:
+// τ local SGD steps with step size η = 1/(βL), no proximal term.
+func FedAvg(beta, l float64, tau, batch, rounds int) Config {
+	return Config{
+		Name: "FedAvg",
+		Local: optim.LocalConfig{
+			Estimator: optim.SGD,
+			Eta:       StepSize(beta, l),
+			Tau:       tau,
+			Batch:     batch,
+			Mu:        0,
+			Return:    optim.ReturnLast,
+		},
+		Rounds: rounds,
+	}
+}
+
+// FedProx returns the configuration of Li et al.'s FedProx baseline:
+// SGD local steps on the μ-proximal surrogate.
+func FedProx(beta, l, mu float64, tau, batch, rounds int) Config {
+	c := FedAvg(beta, l, tau, batch, rounds)
+	c.Name = "FedProx"
+	c.Local.Mu = mu
+	return c
+}
+
+// FromTheory derives a runnable FedProxVR configuration from the paper's
+// analysis: given the Assumption 1 constants, a target local accuracy θ
+// and a penalty μ, it solves eq. (15) (or its SVRG analogue) for the
+// smallest feasible β and sets τ to the corresponding Lemma 1 upper bound
+// (eq. 16) — the schedule Remark 1(3) recommends.
+func FromTheory(est optim.Estimator, prob theory.Problem, theta, mu float64, batch, rounds int) (Config, error) {
+	if err := prob.Validate(); err != nil {
+		return Config{}, err
+	}
+	const betaMax = 1e9
+	var beta float64
+	var tau int
+	switch est {
+	case optim.SARAH:
+		b, ok := prob.BetaMinSARAH(theta, mu, betaMax)
+		if !ok {
+			return Config{}, fmt.Errorf("core: no feasible SARAH β for θ=%v μ=%v", theta, mu)
+		}
+		beta, tau = b, theory.TauFromBetaMin(b)
+	case optim.SVRG:
+		b, ok := prob.BetaMinSVRG(theta, mu, betaMax)
+		if !ok {
+			return Config{}, fmt.Errorf("core: no feasible SVRG β for θ=%v μ=%v", theta, mu)
+		}
+		beta, tau = b, theory.MaxTauSVRG(b)
+	default:
+		return Config{}, fmt.Errorf("core: FromTheory supports SVRG and SARAH, got %v", est)
+	}
+	if tau < 1 {
+		return Config{}, fmt.Errorf("core: derived τ=%d is not runnable", tau)
+	}
+	cfg := FedProxVR(est, beta, prob.L, mu, tau, batch, rounds)
+	cfg.Name = fmt.Sprintf("%s [theory: θ=%.3g β=%.3g τ=%d]", cfg.Name, theta, beta, tau)
+	return cfg, nil
+}
+
+// FSVRG returns the configuration of Konečný et al.'s Federated SVRG
+// baseline [12]: SVRG local steps anchored at the global model, without a
+// proximal term (equivalently FedProxVR with μ = 0).
+func FSVRG(beta, l float64, tau, batch, rounds int) Config {
+	c := FedProxVR(optim.SVRG, beta, l, 0, tau, batch, rounds)
+	c.Name = "FSVRG"
+	return c
+}
+
+// FedProxVR returns the paper's algorithm: proximal SVRG or SARAH local
+// steps with η = 1/(βL) and penalty μ.
+func FedProxVR(est optim.Estimator, beta, l, mu float64, tau, batch, rounds int) Config {
+	return Config{
+		Name: fmt.Sprintf("FedProxVR (%v)", est),
+		Local: optim.LocalConfig{
+			Estimator: est,
+			Eta:       StepSize(beta, l),
+			Tau:       tau,
+			Batch:     batch,
+			Mu:        mu,
+			Return:    optim.ReturnLast,
+		},
+		Rounds: rounds,
+	}
+}

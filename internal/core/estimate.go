@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/models"
+)
+
+// EstimateSigmaBar2 measures the σ̄²-divergence of Assumption 1 (eq. 5)
+// empirically: at each probe point w it computes
+//
+//	σ_n(w) = ‖∇F_n(w) − ∇F̄(w)‖ / ‖∇F̄(w)‖
+//
+// and returns the maximum over probes of σ̄²(w) = Σ_n (D_n/D) σ_n(w)² —
+// a lower bound for the true assumption constant, usable to instantiate
+// the Theorem 1 calculators on a concrete dataset (the paper estimates
+// its constants "by sampling the real-world dataset").
+//
+// Probes are drawn as N(0, scale²) vectors from rng, plus the origin.
+func EstimateSigmaBar2(m models.Model, p *data.Partition, numProbes int, scale float64, rng *rand.Rand) float64 {
+	dim := m.Dim()
+	weights := p.Weights()
+	gn := make([]float64, dim)
+	gbar := make([]float64, dim)
+	grads := make([][]float64, len(p.Clients))
+	for i := range grads {
+		grads[i] = make([]float64, dim)
+	}
+	probe := make([]float64, dim)
+
+	best := 0.0
+	for k := 0; k <= numProbes; k++ {
+		if k == 0 {
+			mathx.Zero(probe)
+		} else {
+			for i := range probe {
+				probe[i] = scale * rng.NormFloat64()
+			}
+		}
+		mathx.Zero(gbar)
+		for n, shard := range p.Clients {
+			m.Grad(gn, probe, shard, nil)
+			copy(grads[n], gn)
+			mathx.Axpy(weights[n], gn, gbar)
+		}
+		denom := mathx.Nrm2Sq(gbar)
+		if denom == 0 {
+			continue
+		}
+		var s2 float64
+		for n := range p.Clients {
+			mathx.Sub(gn, grads[n], gbar)
+			s2 += weights[n] * mathx.Nrm2Sq(gn) / denom
+		}
+		if s2 > best {
+			best = s2
+		}
+	}
+	return best
+}
+
+// EstimateDelta estimates the initial objective gap Δ(w̄⁰) of Theorem 1 as
+// F̄(w⁰) − min over a short full-gradient descent trajectory — a cheap
+// upper-bias estimate of F̄(w⁰) − F̄(w*) usable for Corollary 1's round
+// count.
+func EstimateDelta(m models.Model, p *data.Partition, w0 []float64, descentSteps int, eta float64) float64 {
+	weights := p.Weights()
+	loss := func(w []float64) float64 {
+		var l float64
+		for i, shard := range p.Clients {
+			l += weights[i] * m.Loss(w, shard, nil)
+		}
+		return l
+	}
+	w := mathx.Clone(w0)
+	g := make([]float64, len(w))
+	gShard := make([]float64, len(w))
+	best := loss(w)
+	first := best
+	for t := 0; t < descentSteps; t++ {
+		mathx.Zero(g)
+		for i, shard := range p.Clients {
+			m.Grad(gShard, w, shard, nil)
+			mathx.Axpy(weights[i], gShard, g)
+		}
+		mathx.Axpy(-eta, g, w)
+		best = math.Min(best, loss(w))
+	}
+	return first - best
+}

@@ -1,0 +1,186 @@
+// Package data provides the dataset model, heterogeneous federated
+// partitioners, and the three workload generators used by the paper's
+// experiments: the FedProx-style Synthetic(α, β) dataset, a procedural
+// MNIST-like image generator, and a procedural Fashion-MNIST-like generator
+// (substitutes for the real image corpora, which are not available offline;
+// see DESIGN.md §2). A loader for real IDX-format files is also included.
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"fedproxvr/internal/randx"
+)
+
+// Dataset is a dense supervised dataset. Features are stored flat,
+// row-major, with stride Dim, for cache-friendly sweeps. For classification
+// tasks Y holds class indices in [0, NumClasses); for regression tasks
+// NumClasses is 0 and YReg holds real-valued targets.
+type Dataset struct {
+	Dim        int
+	NumClasses int
+	X          []float64 // len == N*Dim
+	Y          []int     // classification labels (len N) or nil
+	YReg       []float64 // regression targets (len N) or nil
+}
+
+// New allocates an empty dataset with capacity for n samples.
+func New(dim, numClasses, n int) *Dataset {
+	d := &Dataset{Dim: dim, NumClasses: numClasses, X: make([]float64, 0, n*dim)}
+	if numClasses > 0 {
+		d.Y = make([]int, 0, n)
+	} else {
+		d.YReg = make([]float64, 0, n)
+	}
+	return d
+}
+
+// N returns the number of samples.
+func (d *Dataset) N() int {
+	if d.Dim == 0 {
+		return 0
+	}
+	return len(d.X) / d.Dim
+}
+
+// Sample returns a slice aliasing the features of sample i.
+func (d *Dataset) Sample(i int) []float64 { return d.X[i*d.Dim : (i+1)*d.Dim] }
+
+// AppendClass appends a classification sample. Panics if the dataset is a
+// regression dataset or the feature dimension is wrong.
+func (d *Dataset) AppendClass(x []float64, label int) {
+	if d.NumClasses == 0 {
+		panic("data: AppendClass on regression dataset")
+	}
+	if len(x) != d.Dim {
+		panic(fmt.Sprintf("data: sample dim %d, dataset dim %d", len(x), d.Dim))
+	}
+	if label < 0 || label >= d.NumClasses {
+		panic(fmt.Sprintf("data: label %d outside [0,%d)", label, d.NumClasses))
+	}
+	d.X = append(d.X, x...)
+	d.Y = append(d.Y, label)
+}
+
+// AppendReg appends a regression sample.
+func (d *Dataset) AppendReg(x []float64, y float64) {
+	if d.NumClasses != 0 {
+		panic("data: AppendReg on classification dataset")
+	}
+	if len(x) != d.Dim {
+		panic(fmt.Sprintf("data: sample dim %d, dataset dim %d", len(x), d.Dim))
+	}
+	d.X = append(d.X, x...)
+	d.YReg = append(d.YReg, y)
+}
+
+// Subset returns a new dataset holding copies of the samples at idx.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := New(d.Dim, d.NumClasses, len(idx))
+	for _, i := range idx {
+		if d.NumClasses > 0 {
+			out.AppendClass(d.Sample(i), d.Y[i])
+		} else {
+			out.AppendReg(d.Sample(i), d.YReg[i])
+		}
+	}
+	return out
+}
+
+// Merge returns a new dataset concatenating all inputs, which must share
+// Dim and NumClasses.
+func Merge(parts ...*Dataset) *Dataset {
+	if len(parts) == 0 {
+		panic("data: Merge of nothing")
+	}
+	total := 0
+	for _, p := range parts {
+		if p.Dim != parts[0].Dim || p.NumClasses != parts[0].NumClasses {
+			panic("data: Merge shape mismatch")
+		}
+		total += p.N()
+	}
+	out := New(parts[0].Dim, parts[0].NumClasses, total)
+	for _, p := range parts {
+		out.X = append(out.X, p.X...)
+		if p.NumClasses > 0 {
+			out.Y = append(out.Y, p.Y...)
+		} else {
+			out.YReg = append(out.YReg, p.YReg...)
+		}
+	}
+	return out
+}
+
+// Split randomly partitions the dataset into train/test with the given
+// training fraction (the paper uses 0.75). The split is deterministic given
+// the seed.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	n := d.N()
+	perm := randx.New(seed).Perm(n)
+	cut := int(trainFrac * float64(n))
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > n {
+		cut = n
+	}
+	return d.Subset(perm[:cut]), d.Subset(perm[cut:])
+}
+
+// ClassCounts returns the per-class sample counts (classification only).
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Standardize shifts and scales every feature column to zero mean and unit
+// variance, computed over d itself, and applies the same transform to the
+// optional extra datasets (e.g. a held-out test set). Columns with zero
+// variance are left centered only.
+func (d *Dataset) Standardize(extra ...*Dataset) {
+	n := d.N()
+	if n == 0 {
+		return
+	}
+	mean := make([]float64, d.Dim)
+	for i := 0; i < n; i++ {
+		row := d.Sample(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	sd := make([]float64, d.Dim)
+	for i := 0; i < n; i++ {
+		row := d.Sample(i)
+		for j, v := range row {
+			dv := v - mean[j]
+			sd[j] += dv * dv
+		}
+	}
+	for j := range sd {
+		sd[j] = math.Sqrt(sd[j] / float64(n))
+	}
+	apply := func(ds *Dataset) {
+		for i := 0; i < ds.N(); i++ {
+			row := ds.Sample(i)
+			for j := range row {
+				row[j] -= mean[j]
+				if sd[j] > 0 {
+					row[j] /= sd[j]
+				}
+			}
+		}
+	}
+	apply(d)
+	for _, e := range extra {
+		apply(e)
+	}
+}

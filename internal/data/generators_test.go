@@ -1,0 +1,261 @@
+package data
+
+import (
+	gz "compress/gzip"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/randx"
+)
+
+func TestGenerateSyntheticShapes(t *testing.T) {
+	cfg := SyntheticConfig{
+		NumDevices: 20, Dim: 60, NumClasses: 10,
+		Alpha: 1, Beta: 1, MinSamples: 37, MaxSamples: 500, Seed: 1,
+	}
+	p := GenerateSynthetic(cfg)
+	if len(p.Clients) != 20 {
+		t.Fatalf("%d clients", len(p.Clients))
+	}
+	for k, c := range p.Clients {
+		if c.Dim != 60 || c.NumClasses != 10 {
+			t.Fatalf("client %d shape wrong", k)
+		}
+		if c.N() < 37 || c.N() > 500 {
+			t.Fatalf("client %d size %d outside range", k, c.N())
+		}
+		for _, y := range c.Y {
+			if y < 0 || y >= 10 {
+				t.Fatalf("bad label %d", y)
+			}
+		}
+		if !mathx.AllFinite(c.X) {
+			t.Fatalf("client %d has non-finite features", k)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	cfg := SyntheticConfig{NumDevices: 3, Dim: 10, NumClasses: 4,
+		Alpha: 0.5, Beta: 0.5, MinSamples: 20, MaxSamples: 30, Seed: 7}
+	p1 := GenerateSynthetic(cfg)
+	p2 := GenerateSynthetic(cfg)
+	for k := range p1.Clients {
+		for i := range p1.Clients[k].X {
+			if p1.Clients[k].X[i] != p2.Clients[k].X[i] {
+				t.Fatal("synthetic generation not deterministic")
+			}
+		}
+	}
+}
+
+// Heterogeneity property: with large alpha/beta the per-device label
+// distributions should differ much more than with alpha=beta=0.
+func TestSyntheticHeterogeneityKnob(t *testing.T) {
+	spread := func(alpha, beta float64) float64 {
+		cfg := SyntheticConfig{NumDevices: 30, Dim: 20, NumClasses: 5,
+			Alpha: alpha, Beta: beta, MinSamples: 200, MaxSamples: 200, Seed: 11}
+		p := GenerateSynthetic(cfg)
+		// Average total-variation distance of device label dist to global.
+		global := make([]float64, 5)
+		for _, c := range p.Clients {
+			for _, y := range c.Y {
+				global[y]++
+			}
+		}
+		mathx.Scal(1/mathx.Sum(global), global)
+		var tv float64
+		for _, c := range p.Clients {
+			local := make([]float64, 5)
+			for _, y := range c.Y {
+				local[y]++
+			}
+			mathx.Scal(1/mathx.Sum(local), local)
+			for j := range local {
+				tv += math.Abs(local[j] - global[j])
+			}
+		}
+		return tv / float64(len(p.Clients))
+	}
+	iid := spread(0, 0)
+	het := spread(2, 2)
+	if het <= iid {
+		t.Fatalf("heterogeneity knob ineffective: spread(2,2)=%v <= spread(0,0)=%v", het, iid)
+	}
+}
+
+func TestImageGeneratorBasics(t *testing.T) {
+	for _, style := range []ImageStyle{StyleDigits, StyleFashion} {
+		g := NewImageGenerator(ImageConfig{Style: style, Seed: 5})
+		d := g.Generate(200, 0)
+		if d.N() != 200 || d.Dim != ImageDim || d.NumClasses != 10 {
+			t.Fatalf("style %d: bad dataset shape", style)
+		}
+		counts := d.ClassCounts()
+		for c, n := range counts {
+			if n != 20 {
+				t.Fatalf("style %d: class %d has %d samples, want 20", style, c, n)
+			}
+		}
+		for _, v := range d.X {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestImageGeneratorDeterministicAndSeparable(t *testing.T) {
+	g1 := NewImageGenerator(ImageConfig{Seed: 5})
+	g2 := NewImageGenerator(ImageConfig{Seed: 5})
+	d1 := g1.Generate(50, 3)
+	d2 := g2.Generate(50, 3)
+	for i := range d1.X {
+		if d1.X[i] != d2.X[i] {
+			t.Fatal("image generation not deterministic")
+		}
+	}
+	// Classes must be separable: mean intra-class distance should be
+	// smaller than mean inter-class distance (nearest-centroid signal).
+	d := g1.Generate(500, 4)
+	centroids := make([][]float64, 10)
+	counts := make([]int, 10)
+	for c := range centroids {
+		centroids[c] = make([]float64, ImageDim)
+	}
+	for i := 0; i < d.N(); i++ {
+		mathx.Axpy(1, d.Sample(i), centroids[d.Y[i]])
+		counts[d.Y[i]]++
+	}
+	for c := range centroids {
+		mathx.Scal(1/float64(counts[c]), centroids[c])
+	}
+	correct := 0
+	for i := 0; i < d.N(); i++ {
+		best, bestD := -1, math.Inf(1)
+		for c := range centroids {
+			if dist := mathx.DistSq(d.Sample(i), centroids[c]); dist < bestD {
+				best, bestD = c, dist
+			}
+		}
+		if best == d.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.N())
+	if acc < 0.6 {
+		t.Fatalf("nearest-centroid accuracy %.2f too low — classes not separable", acc)
+	}
+}
+
+func TestIDXRoundTrip(t *testing.T) {
+	g := NewImageGenerator(ImageConfig{Seed: 5})
+	d := g.Generate(30, 1)
+	dir := t.TempDir()
+	imgs := filepath.Join(dir, "imgs.idx")
+	lbls := filepath.Join(dir, "lbls.idx")
+	if err := WriteIDX(d, imgs, lbls); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIDX(imgs, lbls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() || back.Dim != d.Dim {
+		t.Fatal("round-trip shape mismatch")
+	}
+	for i := range d.Y {
+		if back.Y[i] != d.Y[i] {
+			t.Fatal("labels corrupted")
+		}
+	}
+	// Pixels quantized to 1/255 — compare within quantization error.
+	for i := range d.X {
+		if math.Abs(back.X[i]-d.X[i]) > 1.0/255+1e-9 {
+			t.Fatalf("pixel %d differs beyond quantization: %v vs %v", i, back.X[i], d.X[i])
+		}
+	}
+}
+
+func TestLoadIDXErrors(t *testing.T) {
+	if _, err := LoadIDX("/nonexistent/a", "/nonexistent/b"); err == nil {
+		t.Fatal("expected error for missing files")
+	}
+}
+
+func TestWriteIDXRejectsNonSquare(t *testing.T) {
+	d := New(10, 2, 1)
+	x := make([]float64, 10)
+	d.AppendClass(x, 0)
+	dir := t.TempDir()
+	if err := WriteIDX(d, filepath.Join(dir, "a"), filepath.Join(dir, "b")); err == nil {
+		t.Fatal("expected error for non-square dim")
+	}
+}
+
+func TestImageSampleDstValidation(t *testing.T) {
+	g := NewImageGenerator(ImageConfig{Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst size")
+		}
+	}()
+	g.Sample(randx.New(1), 0, make([]float64, 3))
+}
+
+func TestLoadIDXGzip(t *testing.T) {
+	g := NewImageGenerator(ImageConfig{Seed: 6})
+	d := g.Generate(20, 2)
+	dir := t.TempDir()
+	rawImgs := filepath.Join(dir, "imgs.idx")
+	rawLbls := filepath.Join(dir, "lbls.idx")
+	if err := WriteIDX(d, rawImgs, rawLbls); err != nil {
+		t.Fatal(err)
+	}
+	gzip := func(src string) string {
+		dst := src + ".gz"
+		in, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw := gz.NewWriter(f)
+		if _, err := zw.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return dst
+	}
+	back, err := LoadIDX(gzip(rawImgs), gzip(rawLbls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() {
+		t.Fatal("gzip round-trip lost samples")
+	}
+	for i := range d.Y {
+		if back.Y[i] != d.Y[i] {
+			t.Fatal("gzip labels corrupted")
+		}
+	}
+}
+
+func TestLoadIDXBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.idx")
+	if err := os.WriteFile(bad, []byte{0, 0, 8, 99, 0, 0, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDX(bad, bad); err == nil {
+		t.Fatal("bad magic should error")
+	}
+}

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/models"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(3)
+	// 2 correct class-0, 1 class-0 → 1, 3 correct class-1, 1 class-2 → 0.
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(1, 1)
+	c.Add(1, 1)
+	c.Add(2, 0)
+	if c.Total() != 7 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	want := 5.0 / 7.0
+	if math.Abs(c.Accuracy()-want) > 1e-15 {
+		t.Fatalf("Accuracy = %v, want %v", c.Accuracy(), want)
+	}
+}
+
+func TestPerClassStats(t *testing.T) {
+	c := NewConfusion(2)
+	// class 0: tp=3, fn=1; class 1: tp=2, fp(into 0)=... layout:
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1) // fn for 0, fp for 1
+	c.Add(1, 1)
+	c.Add(1, 1)
+	stats := c.PerClass()
+	// class 0: precision 3/3=1, recall 3/4.
+	if stats[0].Precision != 1 || math.Abs(stats[0].Recall-0.75) > 1e-15 {
+		t.Fatalf("class 0 stats: %+v", stats[0])
+	}
+	if stats[0].Support != 4 || stats[1].Support != 2 {
+		t.Fatal("supports wrong")
+	}
+	// class 1: precision 2/3, recall 1.
+	if math.Abs(stats[1].Precision-2.0/3) > 1e-15 || stats[1].Recall != 1 {
+		t.Fatalf("class 1 stats: %+v", stats[1])
+	}
+	// F1 sanity: harmonic mean between precision and recall.
+	f1 := 2 * 1 * 0.75 / (1 + 0.75)
+	if math.Abs(stats[0].F1-f1) > 1e-15 {
+		t.Fatalf("class 0 F1 = %v, want %v", stats[0].F1, f1)
+	}
+}
+
+func TestEmptyAndMissingClasses(t *testing.T) {
+	c := NewConfusion(3)
+	if c.Accuracy() != 0 || c.MacroF1() != 0 {
+		t.Fatal("empty matrix should be all zeros")
+	}
+	// Only class 0 observed; classes 1,2 have no support and must not
+	// produce NaNs or drag macro-F1 down.
+	c.Add(0, 0)
+	for _, s := range c.PerClass() {
+		if math.IsNaN(s.Precision) || math.IsNaN(s.Recall) || math.IsNaN(s.F1) {
+			t.Fatal("NaN in class stats")
+		}
+	}
+	if c.MacroF1() != 1 {
+		t.Fatalf("macro-F1 over supported classes should be 1, got %v", c.MacroF1())
+	}
+}
+
+func TestEvaluateAgainstKnownClassifier(t *testing.T) {
+	// A separable 1-D dataset with an exact linear rule.
+	ds := data.New(1, 2, 6)
+	for i := 0; i < 3; i++ {
+		ds.AppendClass([]float64{-1 - float64(i)}, 0)
+		ds.AppendClass([]float64{1 + float64(i)}, 1)
+	}
+	m := models.NewSVM(1, false, 0)
+	w := []float64{1} // sign rule
+	c := Evaluate(m, w, ds)
+	if c.Accuracy() != 1 {
+		t.Fatalf("perfect rule should score 1, got %v", c.Accuracy())
+	}
+	if c.MacroF1() != 1 {
+		t.Fatal("macro-F1 should be 1")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0)
+	c.Add(1, 0)
+	var b strings.Builder
+	if err := c.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"precision", "recall", "f1", "support", "accuracy 0.5000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewConfusionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for classes=0")
+		}
+	}()
+	NewConfusion(0)
+}

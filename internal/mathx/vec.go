@@ -1,0 +1,226 @@
+// Package mathx provides the scalar and dense-vector kernels used throughout
+// the FedProxVR reproduction: BLAS-level-1 style operations, numerically
+// stable reductions, and small helpers shared by the tensor, model and
+// optimizer packages.
+//
+// All functions operate on []float64 and follow BLAS conventions: dst
+// aliasing src is permitted for element-wise operations, lengths must match
+// (mismatches panic, since they indicate a programming error rather than a
+// runtime condition).
+package mathx
+
+import "math"
+
+// Dot returns the inner product <x, y>. Panics if lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mathx: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place. Panics if lengths differ.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mathx: Axpy length mismatch")
+	}
+	if a == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scal scales x by a in place.
+func Scal(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Add stores x + y into dst. dst may alias x or y.
+func Add(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mathx: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// Sub stores x - y into dst. dst may alias x or y.
+func Sub(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mathx: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Mul stores the element-wise product x .* y into dst.
+func Mul(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mathx: Mul length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+// AddScaled stores x + a*y into dst. dst may alias x or y.
+func AddScaled(dst, x []float64, a float64, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mathx: AddScaled length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + a*y[i]
+	}
+}
+
+// Nrm2Sq returns the squared Euclidean norm ‖x‖².
+func Nrm2Sq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm ‖x‖.
+func Nrm2(x []float64) float64 { return math.Sqrt(Nrm2Sq(x)) }
+
+// DistSq returns ‖x − y‖².
+func DistSq(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mathx: DistSq length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to a.
+func Fill(x []float64, a float64) {
+	for i := range x {
+		x[i] = a
+	}
+}
+
+// Clone returns a fresh copy of x.
+func Clone(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// ArgMax returns the index of the maximum element (first on ties).
+// Panics on empty input.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	best, bi := x[0], 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > best {
+			best, bi = x[i], i
+		}
+	}
+	return bi
+}
+
+// Max returns the maximum element. Panics on empty input.
+func Max(x []float64) float64 { return x[ArgMax(x)] }
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// LogSumExp returns log Σ exp(x_i), computed stably.
+func LogSumExp(x []float64) float64 {
+	m := Max(x)
+	if math.IsInf(m, -1) {
+		return math.Inf(-1)
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// SoftmaxInPlace overwrites x with softmax(x), computed stably.
+func SoftmaxInPlace(x []float64) {
+	m := Max(x)
+	var s float64
+	for i, v := range x {
+		e := math.Exp(v - m)
+		x[i] = e
+		s += e
+	}
+	inv := 1 / s
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// Clamp returns v restricted to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AllFinite reports whether every element of x is finite (no NaN/Inf).
+func AllFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightedSum stores Σ_k a_k * xs_k into dst. Every xs_k must have
+// len(dst); len(a) must equal len(xs).
+func WeightedSum(dst []float64, a []float64, xs [][]float64) {
+	if len(a) != len(xs) {
+		panic("mathx: WeightedSum weights/vectors mismatch")
+	}
+	Zero(dst)
+	for k, x := range xs {
+		Axpy(a[k], x, dst)
+	}
+}

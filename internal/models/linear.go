@@ -1,0 +1,170 @@
+package models
+
+import (
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+)
+
+// LinearRegression is the least-squares model from the paper's System Model
+// section: f_i(w) = ½(x_iᵀw − y_i)², with optional L2 regularization. The
+// parameter vector is w ∈ R^d plus one trailing bias if Bias is set.
+type LinearRegression struct {
+	Features int
+	Bias     bool
+	L2       float64
+}
+
+// NewLinearRegression constructs the model for d input features.
+func NewLinearRegression(d int, bias bool, l2 float64) *LinearRegression {
+	if d <= 0 {
+		panic("models: features must be positive")
+	}
+	return &LinearRegression{Features: d, Bias: bias, L2: l2}
+}
+
+// Dim implements Model.
+func (m *LinearRegression) Dim() int {
+	if m.Bias {
+		return m.Features + 1
+	}
+	return m.Features
+}
+
+// residual returns xᵀw + b − y for sample i.
+func (m *LinearRegression) residual(w []float64, ds *data.Dataset, i int) float64 {
+	x := ds.Sample(i)
+	r := mathx.Dot(w[:m.Features], x) - ds.YReg[i]
+	if m.Bias {
+		r += w[m.Features]
+	}
+	return r
+}
+
+// Loss implements Model.
+func (m *LinearRegression) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
+	var sum float64
+	forBatch(ds, idx, func(i int) {
+		r := m.residual(w, ds, i)
+		sum += 0.5 * r * r
+	})
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return 0
+	}
+	return sum/float64(n) + addL2(m.L2, w, nil)
+}
+
+// Grad implements Model.
+func (m *LinearRegression) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
+	mathx.Zero(grad)
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return
+	}
+	inv := 1 / float64(n)
+	forBatch(ds, idx, func(i int) {
+		r := m.residual(w, ds, i) * inv
+		mathx.Axpy(r, ds.Sample(i), grad[:m.Features])
+		if m.Bias {
+			grad[m.Features] += r
+		}
+	})
+	addL2(m.L2, w, grad)
+}
+
+// PredictValue returns the regression prediction for features x.
+func (m *LinearRegression) PredictValue(w, x []float64) float64 {
+	v := mathx.Dot(w[:m.Features], x)
+	if m.Bias {
+		v += w[m.Features]
+	}
+	return v
+}
+
+// Clone implements Model. LinearRegression keeps no scratch, so the
+// receiver itself is returned.
+func (m *LinearRegression) Clone() Model { return m }
+
+// SVM is the binary support-vector machine from the paper's System Model
+// section, labels in {−1, +1} encoded as classes {0, 1}. With Squared set
+// it uses the smooth squared hinge ½·max(0, 1−y·xᵀw)²; otherwise the plain
+// hinge with its subgradient.
+type SVM struct {
+	Features int
+	Squared  bool
+	L2       float64
+}
+
+// NewSVM constructs a binary SVM over d features.
+func NewSVM(d int, squared bool, l2 float64) *SVM {
+	if d <= 0 {
+		panic("models: features must be positive")
+	}
+	return &SVM{Features: d, Squared: squared, L2: l2}
+}
+
+// Dim implements Model.
+func (m *SVM) Dim() int { return m.Features }
+
+// label maps class {0,1} to {−1,+1}.
+func label(y int) float64 {
+	if y == 0 {
+		return -1
+	}
+	return 1
+}
+
+// Loss implements Model.
+func (m *SVM) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
+	var sum float64
+	forBatch(ds, idx, func(i int) {
+		margin := 1 - label(ds.Y[i])*mathx.Dot(w, ds.Sample(i))
+		if margin > 0 {
+			if m.Squared {
+				sum += 0.5 * margin * margin
+			} else {
+				sum += margin
+			}
+		}
+	})
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return 0
+	}
+	return sum/float64(n) + addL2(m.L2, w, nil)
+}
+
+// Grad implements Model.
+func (m *SVM) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
+	mathx.Zero(grad)
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return
+	}
+	inv := 1 / float64(n)
+	forBatch(ds, idx, func(i int) {
+		y := label(ds.Y[i])
+		x := ds.Sample(i)
+		margin := 1 - y*mathx.Dot(w, x)
+		if margin <= 0 {
+			return
+		}
+		coef := -y * inv
+		if m.Squared {
+			coef *= margin
+		}
+		mathx.Axpy(coef, x, grad)
+	})
+	addL2(m.L2, w, grad)
+}
+
+// Predict implements Classifier: class 1 if xᵀw ≥ 0 else class 0.
+func (m *SVM) Predict(w, x []float64) int {
+	if mathx.Dot(w, x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Clone implements Model.
+func (m *SVM) Clone() Model { return m }

@@ -1,0 +1,92 @@
+// Package models defines the learning tasks of the paper as stateless loss
+// oracles: every model evaluates the empirical loss F(w) and its gradient
+// over an arbitrary subset of a dataset at an arbitrary flat parameter
+// vector w. This is the contract the variance-reduced optimizers need
+// (∇f_i at two parameter points per step) and the federated server needs
+// (plain vector aggregation).
+//
+// Provided models: linear regression (½(xᵀw−y)²), binary SVM (hinge and
+// squared hinge), multinomial logistic regression (the paper's convex task),
+// an MLP, and the paper's two-layer CNN (the non-convex task), the latter
+// two built on package nn.
+package models
+
+import (
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+)
+
+// Model is a differentiable empirical-risk oracle over a dataset.
+//
+// For both Loss and Grad, idx selects the samples (mini-batch); nil means
+// the full dataset. Loss returns the MEAN loss over the batch; Grad
+// overwrites grad with the MEAN gradient over the batch. Implementations
+// may keep internal scratch, so a single Model value must not be used from
+// multiple goroutines — use Clone to get an independent view sharing the
+// immutable structure.
+type Model interface {
+	// Dim is the flat parameter dimension l.
+	Dim() int
+	// Loss returns (1/|idx|) Σ_{i∈idx} f_i(w).
+	Loss(w []float64, ds *data.Dataset, idx []int) float64
+	// Grad overwrites grad with (1/|idx|) Σ_{i∈idx} ∇f_i(w).
+	Grad(grad, w []float64, ds *data.Dataset, idx []int)
+	// Clone returns a Model safe to use from another goroutine.
+	Clone() Model
+}
+
+// Classifier is implemented by models that predict a class label.
+type Classifier interface {
+	Model
+	// Predict returns the predicted class for features x under parameters w.
+	Predict(w, x []float64) int
+}
+
+// Accuracy returns the fraction of samples in ds that c classifies
+// correctly under w.
+func Accuracy(c Classifier, w []float64, ds *data.Dataset) float64 {
+	n := ds.N()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if c.Predict(w, ds.Sample(i)) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// batchSize returns the effective batch size for an idx argument.
+func batchSize(ds *data.Dataset, idx []int) int {
+	if idx == nil {
+		return ds.N()
+	}
+	return len(idx)
+}
+
+// forBatch invokes fn for each selected sample index.
+func forBatch(ds *data.Dataset, idx []int, fn func(i int)) {
+	if idx == nil {
+		for i := 0; i < ds.N(); i++ {
+			fn(i)
+		}
+		return
+	}
+	for _, i := range idx {
+		fn(i)
+	}
+}
+
+// addL2 adds the value and gradient of (reg/2)‖w‖² to a loss/grad pair.
+// Returns the regularization value; if grad is non-nil adds reg*w into it.
+func addL2(reg float64, w, grad []float64) float64 {
+	if reg == 0 {
+		return 0
+	}
+	if grad != nil {
+		mathx.Axpy(reg, w, grad)
+	}
+	return reg / 2 * mathx.Nrm2Sq(w)
+}

@@ -1,0 +1,121 @@
+package models
+
+import (
+	"math/rand"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/nn"
+	"fedproxvr/internal/tensor"
+)
+
+// NNModel wraps an nn.Network with a softmax cross-entropy head, turning it
+// into a Model/Classifier usable by all federated algorithms. The network
+// is shared immutably between clones; each clone owns its workspace.
+type NNModel struct {
+	Net *nn.Network
+	L2  float64
+
+	ws    *nn.Workspace
+	probs []float64
+	dOut  []float64
+}
+
+// NewNNModel wraps net; net.OutSize() is the class count.
+func NewNNModel(net *nn.Network, l2 float64) *NNModel {
+	return &NNModel{
+		Net:   net,
+		L2:    l2,
+		ws:    net.NewWorkspace(),
+		probs: make([]float64, net.OutSize()),
+		dOut:  make([]float64, net.OutSize()),
+	}
+}
+
+// Dim implements Model.
+func (m *NNModel) Dim() int { return m.Net.NumParams() }
+
+// Loss implements Model.
+func (m *NNModel) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
+	var sum float64
+	forBatch(ds, idx, func(i int) {
+		out := m.Net.Forward(w, ds.Sample(i), m.ws)
+		copy(m.probs, out)
+		lse := mathx.LogSumExp(m.probs)
+		sum += lse - m.probs[ds.Y[i]]
+	})
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return 0
+	}
+	return sum/float64(n) + addL2(m.L2, w, nil)
+}
+
+// Grad implements Model: backprop of (softmax − onehot)/n through the net.
+func (m *NNModel) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
+	mathx.Zero(grad)
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return
+	}
+	inv := 1 / float64(n)
+	forBatch(ds, idx, func(i int) {
+		out := m.Net.Forward(w, ds.Sample(i), m.ws)
+		copy(m.dOut, out)
+		mathx.SoftmaxInPlace(m.dOut)
+		m.dOut[ds.Y[i]] -= 1
+		mathx.Scal(inv, m.dOut)
+		m.Net.Backward(w, m.dOut, m.ws, grad)
+	})
+	addL2(m.L2, w, grad)
+}
+
+// Predict implements Classifier.
+func (m *NNModel) Predict(w, x []float64) int {
+	out := m.Net.Forward(w, x, m.ws)
+	return mathx.ArgMax(out)
+}
+
+// Clone implements Model: the network is shared, scratch is fresh.
+func (m *NNModel) Clone() Model { return NewNNModel(m.Net, m.L2) }
+
+// InitParams initializes a parameter vector for this model.
+func (m *NNModel) InitParams(rng *rand.Rand, w []float64) {
+	m.Net.InitParams(rng, w)
+}
+
+// NewPaperCNN builds the paper's non-convex model: "two 5x5 convolution
+// layers (32 and 64 channels ..., max pooling size 2x2 is used after each
+// layer), ReLu activation, and a softmax layer at the end", over 28×28
+// single-channel images with `classes` outputs. Pass a channel width
+// divisor > 1 to build a proportionally thinner network for fast tests and
+// benches (e.g. 8 → 4/8 channels).
+func NewPaperCNN(classes, widthDivisor int, l2 float64) *NNModel {
+	if widthDivisor < 1 {
+		widthDivisor = 1
+	}
+	ch1 := max(1, 32/widthDivisor)
+	ch2 := max(1, 64/widthDivisor)
+	s1 := tensor.ConvShape{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c1 := nn.NewConv2D(s1, ch1)
+	p1 := nn.NewMaxPool2D(ch1, 28, 28, 2)
+	s2 := tensor.ConvShape{InC: ch1, InH: 14, InW: 14, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c2 := nn.NewConv2D(s2, ch2)
+	p2 := nn.NewMaxPool2D(ch2, 14, 14, 2)
+	net := nn.MustNetwork(
+		c1, nn.NewReLU(c1.OutSize()), p1,
+		c2, nn.NewReLU(c2.OutSize()), p2,
+		nn.NewDense(ch2*7*7, classes),
+	)
+	return NewNNModel(net, l2)
+}
+
+// NewMLP builds a one-hidden-layer ReLU perceptron classifier.
+func NewMLP(in, hidden, classes int, l2 float64) *NNModel {
+	net := nn.MustNetwork(
+		nn.NewDense(in, hidden),
+		nn.NewReLU(hidden),
+		nn.NewDense(hidden, classes),
+	)
+	return NewNNModel(net, l2)
+}

@@ -1,0 +1,103 @@
+package models
+
+import (
+	"math"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+)
+
+// Softmax is multinomial logistic regression — the paper's convex task
+// ("image classification with a multinomial logistic regression model").
+// Parameters are the weight matrix W (C×d, row-major) followed by the bias
+// b (C). The per-sample loss is cross-entropy −log softmax(Wx+b)[y], plus
+// optional L2 regularization on the whole parameter vector.
+type Softmax struct {
+	Features int
+	Classes  int
+	L2       float64
+
+	logits []float64 // scratch (len Classes); cloned per goroutine
+}
+
+// NewSoftmax constructs the model.
+func NewSoftmax(d, classes int, l2 float64) *Softmax {
+	if d <= 0 || classes <= 1 {
+		panic("models: Softmax needs d>0 and classes>1")
+	}
+	return &Softmax{Features: d, Classes: classes, L2: l2,
+		logits: make([]float64, classes)}
+}
+
+// Dim implements Model.
+func (m *Softmax) Dim() int { return m.Classes*m.Features + m.Classes }
+
+// forward fills m.logits with softmax probabilities for sample x and
+// returns the log-partition value used for the loss.
+func (m *Softmax) forward(w, x []float64) {
+	nw := m.Classes * m.Features
+	b := w[nw:]
+	for c := 0; c < m.Classes; c++ {
+		m.logits[c] = b[c] + mathx.Dot(w[c*m.Features:(c+1)*m.Features], x)
+	}
+}
+
+// Loss implements Model.
+func (m *Softmax) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
+	var sum float64
+	forBatch(ds, idx, func(i int) {
+		m.forward(w, ds.Sample(i))
+		lse := mathx.LogSumExp(m.logits)
+		sum += lse - m.logits[ds.Y[i]]
+	})
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return 0
+	}
+	return sum/float64(n) + addL2(m.L2, w, nil)
+}
+
+// Grad implements Model: ∇_{W_c} = (p_c − 1{y=c})·x, ∇_{b_c} = p_c − 1{y=c}.
+func (m *Softmax) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
+	mathx.Zero(grad)
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return
+	}
+	inv := 1 / float64(n)
+	nw := m.Classes * m.Features
+	forBatch(ds, idx, func(i int) {
+		x := ds.Sample(i)
+		m.forward(w, x)
+		mathx.SoftmaxInPlace(m.logits)
+		m.logits[ds.Y[i]] -= 1
+		for c := 0; c < m.Classes; c++ {
+			g := m.logits[c] * inv
+			if g == 0 {
+				continue
+			}
+			mathx.Axpy(g, x, grad[c*m.Features:(c+1)*m.Features])
+			grad[nw+c] += g
+		}
+	})
+	addL2(m.L2, w, grad)
+}
+
+// Predict implements Classifier.
+func (m *Softmax) Predict(w, x []float64) int {
+	nw := m.Classes * m.Features
+	b := w[nw:]
+	best, bestV := 0, math.Inf(-1)
+	for c := 0; c < m.Classes; c++ {
+		v := b[c] + mathx.Dot(w[c*m.Features:(c+1)*m.Features], x)
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// Clone implements Model: shares the immutable shape, fresh scratch.
+func (m *Softmax) Clone() Model {
+	return NewSoftmax(m.Features, m.Classes, m.L2)
+}

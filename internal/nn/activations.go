@@ -1,0 +1,104 @@
+package nn
+
+import "math"
+
+// ReLU is the element-wise rectifier max(0, x). It has no parameters.
+type ReLU struct {
+	Size int
+}
+
+// NewReLU constructs a ReLU over vectors of the given size.
+func NewReLU(size int) *ReLU {
+	if size <= 0 {
+		panic("nn: ReLU size must be positive")
+	}
+	return &ReLU{Size: size}
+}
+
+// InSize implements Layer.
+func (r *ReLU) InSize() int { return r.Size }
+
+// OutSize implements Layer.
+func (r *ReLU) OutSize() int { return r.Size }
+
+// NumParams implements Layer.
+func (r *ReLU) NumParams() int { return 0 }
+
+type reluCache struct {
+	mask []bool // true where input > 0
+}
+
+// NewCache implements Layer.
+func (r *ReLU) NewCache() Cache { return &reluCache{mask: make([]bool, r.Size)} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(params, in, out []float64, cache Cache) {
+	c := cache.(*reluCache)
+	for i, v := range in {
+		if v > 0 {
+			out[i] = v
+			c.mask[i] = true
+		} else {
+			out[i] = 0
+			c.mask[i] = false
+		}
+	}
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+	c := cache.(*reluCache)
+	for i, m := range c.mask {
+		if m {
+			dIn[i] = dOut[i]
+		} else {
+			dIn[i] = 0
+		}
+	}
+}
+
+// Tanh is the element-wise hyperbolic tangent; used by the MLP variants.
+type Tanh struct {
+	Size int
+}
+
+// NewTanh constructs a Tanh layer.
+func NewTanh(size int) *Tanh {
+	if size <= 0 {
+		panic("nn: Tanh size must be positive")
+	}
+	return &Tanh{Size: size}
+}
+
+// InSize implements Layer.
+func (t *Tanh) InSize() int { return t.Size }
+
+// OutSize implements Layer.
+func (t *Tanh) OutSize() int { return t.Size }
+
+// NumParams implements Layer.
+func (t *Tanh) NumParams() int { return 0 }
+
+type tanhCache struct {
+	out []float64
+}
+
+// NewCache implements Layer.
+func (t *Tanh) NewCache() Cache { return &tanhCache{out: make([]float64, t.Size)} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(params, in, out []float64, cache Cache) {
+	c := cache.(*tanhCache)
+	for i, v := range in {
+		out[i] = math.Tanh(v)
+		c.out[i] = out[i]
+	}
+}
+
+// Backward implements Layer: d tanh = 1 - tanh².
+func (t *Tanh) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+	c := cache.(*tanhCache)
+	for i, y := range c.out {
+		dIn[i] = dOut[i] * (1 - y*y)
+	}
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"math/rand"
+
+	"fedproxvr/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over channels-first volumes, implemented as
+// im2col + GEMM. The parameter view holds the kernel W, row-major
+// (OutC × InC*KH*KW), followed by the per-output-channel bias (OutC).
+// Activations are flat: input len = InC*InH*InW, output len = OutC*OutH*OutW.
+type Conv2D struct {
+	Shape tensor.ConvShape
+	OutC  int
+}
+
+// NewConv2D constructs a convolution layer.
+func NewConv2D(shape tensor.ConvShape, outC int) *Conv2D {
+	if outC <= 0 {
+		panic("nn: Conv2D OutC must be positive")
+	}
+	if shape.Stride <= 0 {
+		panic("nn: Conv2D stride must be positive")
+	}
+	if shape.OutH() <= 0 || shape.OutW() <= 0 {
+		panic("nn: Conv2D output collapses to zero")
+	}
+	return &Conv2D{Shape: shape, OutC: outC}
+}
+
+// InSize implements Layer.
+func (c *Conv2D) InSize() int { return c.Shape.InC * c.Shape.InH * c.Shape.InW }
+
+// OutSize implements Layer.
+func (c *Conv2D) OutSize() int { return c.OutC * c.Shape.OutH() * c.Shape.OutW() }
+
+// NumParams implements Layer.
+func (c *Conv2D) NumParams() int { return c.OutC*c.Shape.ColRows() + c.OutC }
+
+type convCache struct {
+	col  []float64 // im2col of the forward input (ColRows × ColCols)
+	dcol []float64 // scratch for the backward col gradient
+}
+
+// NewCache implements Layer.
+func (c *Conv2D) NewCache() Cache {
+	n := c.Shape.ColRows() * c.Shape.ColCols()
+	return &convCache{col: make([]float64, n), dcol: make([]float64, n)}
+}
+
+// Forward implements Layer: out = W·col(in) + b.
+func (c *Conv2D) Forward(params, in, out []float64, cache Cache) {
+	cc := cache.(*convCache)
+	tensor.Im2Col(c.Shape, in, cc.col)
+	nw := c.OutC * c.Shape.ColRows()
+	w := tensor.WrapMatrix(c.OutC, c.Shape.ColRows(), params[:nw])
+	b := params[nw:]
+	colM := tensor.WrapMatrix(c.Shape.ColRows(), c.Shape.ColCols(), cc.col)
+	outM := tensor.WrapMatrix(c.OutC, c.Shape.ColCols(), out)
+	tensor.Gemm(1, w, colM, 0, outM)
+	cols := c.Shape.ColCols()
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := b[oc]
+		row := out[oc*cols : (oc+1)*cols]
+		for i := range row {
+			row[i] += bias
+		}
+	}
+}
+
+// Backward implements Layer:
+//
+//	dW += dOut · colᵀ,   db_oc += Σ dOut_oc,   dIn = col2im(Wᵀ · dOut).
+func (c *Conv2D) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+	cc := cache.(*convCache)
+	nw := c.OutC * c.Shape.ColRows()
+	w := tensor.WrapMatrix(c.OutC, c.Shape.ColRows(), params[:nw])
+	dw := tensor.WrapMatrix(c.OutC, c.Shape.ColRows(), dParams[:nw])
+	db := dParams[nw:]
+	cols := c.Shape.ColCols()
+
+	dOutM := tensor.WrapMatrix(c.OutC, cols, dOut)
+	colM := tensor.WrapMatrix(c.Shape.ColRows(), cols, cc.col)
+	// dW += dOut (OutC×cols) · colᵀ (cols×ColRows)
+	tensor.Gemm(1, dOutM, colM.Transpose(), 1, dw)
+	for oc := 0; oc < c.OutC; oc++ {
+		row := dOut[oc*cols : (oc+1)*cols]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		db[oc] += s
+	}
+	// dcol = Wᵀ · dOut, then scatter back to input coordinates.
+	dcolM := tensor.WrapMatrix(c.Shape.ColRows(), cols, cc.dcol)
+	tensor.Gemm(1, w.Transpose(), dOutM, 0, dcolM)
+	for i := range dIn {
+		dIn[i] = 0
+	}
+	tensor.Col2Im(c.Shape, cc.dcol, dIn)
+}
+
+// Init implements Initializer: Glorot-uniform kernel, zero bias.
+func (c *Conv2D) Init(rng *rand.Rand, params []float64) {
+	nw := c.OutC * c.Shape.ColRows()
+	fanIn := c.Shape.ColRows()
+	fanOut := c.OutC * c.Shape.KH * c.Shape.KW
+	glorotUniform(rng, params[:nw], fanIn, fanOut)
+	for i := nw; i < len(params); i++ {
+		params[i] = 0
+	}
+}
+
+// MaxPool2D is a channels-first max pooling layer with square window and
+// stride equal to the window (the paper's CNN uses 2×2).
+type MaxPool2D struct {
+	C, H, W int // input volume
+	K       int // window and stride
+}
+
+// NewMaxPool2D constructs a pooling layer; H and W must be divisible by k.
+func NewMaxPool2D(c, h, w, k int) *MaxPool2D {
+	if k <= 0 || h%k != 0 || w%k != 0 {
+		panic("nn: MaxPool2D window must divide input dims")
+	}
+	return &MaxPool2D{C: c, H: h, W: w, K: k}
+}
+
+// InSize implements Layer.
+func (p *MaxPool2D) InSize() int { return p.C * p.H * p.W }
+
+// OutSize implements Layer.
+func (p *MaxPool2D) OutSize() int { return p.C * (p.H / p.K) * (p.W / p.K) }
+
+// NumParams implements Layer.
+func (p *MaxPool2D) NumParams() int { return 0 }
+
+type poolCache struct {
+	argmax []int // index into the input for each output element
+}
+
+// NewCache implements Layer.
+func (p *MaxPool2D) NewCache() Cache { return &poolCache{argmax: make([]int, p.OutSize())} }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(params, in, out []float64, cache Cache) {
+	pc := cache.(*poolCache)
+	oh, ow := p.H/p.K, p.W/p.K
+	oi := 0
+	for c := 0; c < p.C; c++ {
+		base := c * p.H * p.W
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx := base + (oy*p.K)*p.W + ox*p.K
+				best := in[bestIdx]
+				for ky := 0; ky < p.K; ky++ {
+					rowBase := base + (oy*p.K+ky)*p.W + ox*p.K
+					for kx := 0; kx < p.K; kx++ {
+						if v := in[rowBase+kx]; v > best {
+							best, bestIdx = v, rowBase+kx
+						}
+					}
+				}
+				out[oi] = best
+				pc.argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+}
+
+// Backward implements Layer: route each output gradient to its argmax input.
+func (p *MaxPool2D) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+	pc := cache.(*poolCache)
+	for i := range dIn {
+		dIn[i] = 0
+	}
+	for oi, ii := range pc.argmax {
+		dIn[ii] += dOut[oi]
+	}
+}

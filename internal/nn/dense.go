@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math/rand"
+
+	"fedproxvr/internal/tensor"
+)
+
+// Dense is a fully-connected layer: out = W·in + b, with W stored row-major
+// (Out×In) followed by b (Out) in the layer's parameter view.
+type Dense struct {
+	In, Out int
+}
+
+// NewDense constructs a Dense layer.
+func NewDense(in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic("nn: Dense dims must be positive")
+	}
+	return &Dense{In: in, Out: out}
+}
+
+// InSize implements Layer.
+func (d *Dense) InSize() int { return d.In }
+
+// OutSize implements Layer.
+func (d *Dense) OutSize() int { return d.Out }
+
+// NumParams implements Layer.
+func (d *Dense) NumParams() int { return d.Out*d.In + d.Out }
+
+type denseCache struct {
+	in []float64 // copy of the forward input
+}
+
+// NewCache implements Layer.
+func (d *Dense) NewCache() Cache { return &denseCache{in: make([]float64, d.In)} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(params, in, out []float64, cache Cache) {
+	c := cache.(*denseCache)
+	copy(c.in, in)
+	w := tensor.WrapMatrix(d.Out, d.In, params[:d.Out*d.In])
+	b := params[d.Out*d.In:]
+	tensor.MatVec(out, w, in)
+	for i := range out {
+		out[i] += b[i]
+	}
+}
+
+// Backward implements Layer. dW_ij += dOut_i * in_j; db_i += dOut_i;
+// dIn = Wᵀ·dOut.
+func (d *Dense) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+	c := cache.(*denseCache)
+	w := tensor.WrapMatrix(d.Out, d.In, params[:d.Out*d.In])
+	dw := dParams[:d.Out*d.In]
+	db := dParams[d.Out*d.In:]
+	for i := 0; i < d.Out; i++ {
+		g := dOut[i]
+		db[i] += g
+		if g == 0 {
+			continue
+		}
+		row := dw[i*d.In : (i+1)*d.In]
+		for j, x := range c.in {
+			row[j] += g * x
+		}
+	}
+	tensor.MatTVec(dIn, w, dOut)
+}
+
+// Init implements Initializer: Glorot-uniform W, zero b.
+func (d *Dense) Init(rng *rand.Rand, params []float64) {
+	glorotUniform(rng, params[:d.Out*d.In], d.In, d.Out)
+	for i := d.Out * d.In; i < len(params); i++ {
+		params[i] = 0
+	}
+}

@@ -1,0 +1,184 @@
+// Package nn is a small from-scratch neural-network substrate built for
+// variance-reduced federated optimizers. It differs from mainstream NN
+// libraries in one structural way: layers own no parameters. All parameters
+// live in one flat []float64 owned by the caller, and every Forward/Backward
+// call receives the parameter vector (layers see zero-copy slice views).
+// This is exactly what SVRG/SARAH need — evaluating ∇f_i at two different
+// parameter vectors per step — and what federated aggregation needs —
+// averaging raw vectors.
+//
+// Backward accumulates (+=) into the caller's gradient vector so mini-batch
+// gradients can be summed without temporaries. Per-call scratch lives in a
+// Workspace, so a single Network can be shared read-only by many goroutines,
+// each holding its own Workspace.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage. Implementations are stateless with
+// respect to parameters and activations: everything flows through the
+// arguments, and per-call scratch lives in the cache created by NewCache.
+type Layer interface {
+	// InSize and OutSize are the flat activation sizes.
+	InSize() int
+	OutSize() int
+	// NumParams is the number of parameters the layer reads from its view.
+	NumParams() int
+	// NewCache allocates the scratch this layer needs for one
+	// forward/backward pair.
+	NewCache() Cache
+	// Forward computes out from in using params (len NumParams).
+	Forward(params, in, out []float64, cache Cache)
+	// Backward consumes dOut, writes dIn (overwrite) and accumulates the
+	// parameter gradient into dParams (+=). It must be called after Forward
+	// with the same cache and params.
+	Backward(params, dOut, dIn, dParams []float64, cache Cache)
+}
+
+// Cache is opaque per-layer scratch. Each layer type asserts its own.
+type Cache interface{}
+
+// Network is a sequential composition of layers sharing one flat parameter
+// vector.
+type Network struct {
+	layers  []Layer
+	offsets []int // offsets[i] is the start of layer i's params
+	total   int
+}
+
+// NewNetwork composes layers, validating that activation sizes chain.
+func NewNetwork(layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: empty network")
+	}
+	n := &Network{layers: layers, offsets: make([]int, len(layers))}
+	for i, l := range layers {
+		if i > 0 && layers[i-1].OutSize() != l.InSize() {
+			return nil, fmt.Errorf("nn: layer %d out %d != layer %d in %d",
+				i-1, layers[i-1].OutSize(), i, l.InSize())
+		}
+		n.offsets[i] = n.total
+		n.total += l.NumParams()
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork but panics on error; for static architectures.
+func MustNetwork(layers ...Layer) *Network {
+	n, err := NewNetwork(layers...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NumParams returns the total flat parameter count.
+func (n *Network) NumParams() int { return n.total }
+
+// InSize returns the input activation size.
+func (n *Network) InSize() int { return n.layers[0].InSize() }
+
+// OutSize returns the output activation size.
+func (n *Network) OutSize() int { return n.layers[len(n.layers)-1].OutSize() }
+
+// ParamView returns the slice of params owned by layer i.
+func (n *Network) ParamView(params []float64, i int) []float64 {
+	return params[n.offsets[i] : n.offsets[i]+n.layers[i].NumParams()]
+}
+
+// Workspace holds all per-call scratch for one goroutine's use of a Network:
+// activation buffers between layers and each layer's cache.
+type Workspace struct {
+	acts   [][]float64 // acts[0] is input copy target; acts[i+1] output of layer i
+	dacts  [][]float64 // gradient buffers of same shapes
+	caches []Cache
+}
+
+// NewWorkspace allocates scratch sized for this network.
+func (n *Network) NewWorkspace() *Workspace {
+	ws := &Workspace{
+		acts:   make([][]float64, len(n.layers)+1),
+		dacts:  make([][]float64, len(n.layers)+1),
+		caches: make([]Cache, len(n.layers)),
+	}
+	ws.acts[0] = make([]float64, n.layers[0].InSize())
+	ws.dacts[0] = make([]float64, n.layers[0].InSize())
+	for i, l := range n.layers {
+		ws.acts[i+1] = make([]float64, l.OutSize())
+		ws.dacts[i+1] = make([]float64, l.OutSize())
+		ws.caches[i] = l.NewCache()
+	}
+	return ws
+}
+
+// Forward runs the network on input x at parameters params and returns a
+// slice aliasing the workspace's output activations (valid until the next
+// Forward on the same workspace).
+func (n *Network) Forward(params, x []float64, ws *Workspace) []float64 {
+	if len(params) != n.total {
+		panic(fmt.Sprintf("nn: params len %d, want %d", len(params), n.total))
+	}
+	if len(x) != n.InSize() {
+		panic(fmt.Sprintf("nn: input len %d, want %d", len(x), n.InSize()))
+	}
+	copy(ws.acts[0], x)
+	for i, l := range n.layers {
+		l.Forward(n.ParamView(params, i), ws.acts[i], ws.acts[i+1], ws.caches[i])
+	}
+	return ws.acts[len(n.layers)]
+}
+
+// Backward propagates dOut (gradient w.r.t. the network output of the last
+// Forward on ws) and accumulates the parameter gradient into grad (+=).
+// grad must have length NumParams.
+func (n *Network) Backward(params, dOut []float64, ws *Workspace, grad []float64) {
+	if len(grad) != n.total {
+		panic(fmt.Sprintf("nn: grad len %d, want %d", len(grad), n.total))
+	}
+	last := len(n.layers)
+	if len(dOut) != n.OutSize() {
+		panic("nn: dOut size mismatch")
+	}
+	copy(ws.dacts[last], dOut)
+	for i := last - 1; i >= 0; i-- {
+		l := n.layers[i]
+		l.Backward(n.ParamView(params, i), ws.dacts[i+1], ws.dacts[i],
+			grad[n.offsets[i]:n.offsets[i]+l.NumParams()], ws.caches[i])
+	}
+}
+
+// InitParams fills params with a standard layer-aware initialization:
+// Glorot-uniform weights, zero biases, via each layer's optional
+// Initializer. Layers that do not implement Initializer are zero-filled.
+func (n *Network) InitParams(rng *rand.Rand, params []float64) {
+	if len(params) != n.total {
+		panic("nn: InitParams wrong length")
+	}
+	for i, l := range n.layers {
+		view := n.ParamView(params, i)
+		if init, ok := l.(Initializer); ok {
+			init.Init(rng, view)
+		} else {
+			for j := range view {
+				view[j] = 0
+			}
+		}
+	}
+}
+
+// Initializer is implemented by layers that have parameters to initialize.
+type Initializer interface {
+	Init(rng *rand.Rand, params []float64)
+}
+
+// glorotUniform fills w with Uniform(−b, b), b = sqrt(6/(fanIn+fanOut)).
+func glorotUniform(rng *rand.Rand, w []float64, fanIn, fanOut int) {
+	bound := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (2*rng.Float64() - 1) * bound
+	}
+}

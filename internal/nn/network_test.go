@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedproxvr/internal/tensor"
+)
+
+// scalarProbe evaluates φ(params) = <net.Forward(params, x), r>.
+func scalarProbe(net *Network, params, x, r []float64, ws *Workspace) float64 {
+	out := net.Forward(params, x, ws)
+	var s float64
+	for i, v := range out {
+		s += v * r[i]
+	}
+	return s
+}
+
+// checkNetGradient compares Backward against central finite differences of
+// the scalar probe for every parameter and for the input gradient.
+func checkNetGradient(t *testing.T, net *Network, seed int64, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	params := make([]float64, net.NumParams())
+	net.InitParams(rng, params)
+	// Perturb biases as well so their gradients are exercised at non-zero.
+	for i := range params {
+		params[i] += 0.05 * rng.NormFloat64()
+	}
+	x := make([]float64, net.InSize())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	r := make([]float64, net.OutSize())
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	ws := net.NewWorkspace()
+
+	grad := make([]float64, net.NumParams())
+	net.Forward(params, x, ws)
+	net.Backward(params, r, ws, grad)
+
+	const h = 1e-5
+	for i := 0; i < len(params); i++ {
+		orig := params[i]
+		params[i] = orig + h
+		fp := scalarProbe(net, params, x, r, ws)
+		params[i] = orig - h
+		fm := scalarProbe(net, params, x, r, ws)
+		params[i] = orig
+		want := (fp - fm) / (2 * h)
+		if math.Abs(grad[i]-want) > tol*(1+math.Abs(want)) {
+			t.Fatalf("param %d: analytic %v, numeric %v", i, grad[i], want)
+		}
+	}
+}
+
+func TestDenseGradient(t *testing.T) {
+	net := MustNetwork(NewDense(7, 5))
+	checkNetGradient(t, net, 1, 1e-6)
+}
+
+func TestDenseReLUDenseGradient(t *testing.T) {
+	net := MustNetwork(NewDense(6, 8), NewReLU(8), NewDense(8, 3))
+	checkNetGradient(t, net, 2, 1e-5)
+}
+
+func TestTanhMLPGradient(t *testing.T) {
+	net := MustNetwork(NewDense(5, 9), NewTanh(9), NewDense(9, 4))
+	checkNetGradient(t, net, 3, 1e-5)
+}
+
+func TestConvPoolGradient(t *testing.T) {
+	shape := tensor.ConvShape{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(shape, 2)
+	pool := NewMaxPool2D(2, 8, 8, 2)
+	net := MustNetwork(conv, NewReLU(conv.OutSize()), pool, NewDense(pool.OutSize(), 3))
+	checkNetGradient(t, net, 4, 1e-5)
+}
+
+func TestInputGradient(t *testing.T) {
+	// dIn check: probe φ(x) with params fixed.
+	net := MustNetwork(NewDense(4, 6), NewReLU(6), NewDense(6, 2))
+	rng := rand.New(rand.NewSource(5))
+	params := make([]float64, net.NumParams())
+	net.InitParams(rng, params)
+	x := make([]float64, 4)
+	r := []float64{0.3, -1.1}
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ws := net.NewWorkspace()
+	grad := make([]float64, net.NumParams())
+	net.Forward(params, x, ws)
+	net.Backward(params, r, ws, grad)
+	dIn := ws.dacts[0]
+	const h = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		fp := scalarProbe(net, params, x, r, ws)
+		x[i] = orig - h
+		fm := scalarProbe(net, params, x, r, ws)
+		x[i] = orig
+		want := (fp - fm) / (2 * h)
+		if math.Abs(dIn[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("dIn[%d]: analytic %v, numeric %v", i, dIn[i], want)
+		}
+	}
+}
+
+func TestBackwardAccumulates(t *testing.T) {
+	net := MustNetwork(NewDense(3, 2))
+	rng := rand.New(rand.NewSource(6))
+	params := make([]float64, net.NumParams())
+	net.InitParams(rng, params)
+	x := []float64{1, 2, 3}
+	r := []float64{1, 1}
+	ws := net.NewWorkspace()
+	g1 := make([]float64, net.NumParams())
+	net.Forward(params, x, ws)
+	net.Backward(params, r, ws, g1)
+	g2 := make([]float64, net.NumParams())
+	copy(g2, g1)
+	net.Forward(params, x, ws)
+	net.Backward(params, r, ws, g2) // second accumulation
+	for i := range g1 {
+		if math.Abs(g2[i]-2*g1[i]) > 1e-12 {
+			t.Fatalf("Backward does not accumulate: g2[%d]=%v, 2*g1=%v", i, g2[i], 2*g1[i])
+		}
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(); err == nil {
+		t.Fatal("empty network should error")
+	}
+	if _, err := NewNetwork(NewDense(3, 4), NewDense(5, 2)); err == nil {
+		t.Fatal("mismatched chain should error")
+	}
+	net := MustNetwork(NewDense(3, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong params length")
+		}
+	}()
+	net.Forward(make([]float64, 1), make([]float64, 3), net.NewWorkspace())
+}
+
+func TestMaxPoolForwardValues(t *testing.T) {
+	p := NewMaxPool2D(1, 4, 4, 2)
+	in := []float64{
+		1, 2, 0, 0,
+		3, 4, 0, 5,
+		0, 0, 9, 8,
+		0, 7, 6, 0,
+	}
+	out := make([]float64, 4)
+	cache := p.NewCache()
+	p.Forward(nil, in, out, cache)
+	want := []float64{4, 5, 7, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("pool out = %v, want %v", out, want)
+		}
+	}
+	// Routing check: gradient flows only to the max positions.
+	dIn := make([]float64, 16)
+	p.Backward(nil, []float64{1, 1, 1, 1}, dIn, nil, cache)
+	if dIn[5] != 1 || dIn[7] != 1 || dIn[13] != 1 || dIn[10] != 1 {
+		t.Fatalf("pool routing wrong: %v", dIn)
+	}
+	var total float64
+	for _, v := range dIn {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("pool gradient mass %v, want 4", total)
+	}
+}
+
+func TestConvSameShapeAsPaper(t *testing.T) {
+	// The paper's CNN: 28x28 → conv5x5(32) → pool2 → conv5x5(64) → pool2.
+	s1 := tensor.ConvShape{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c1 := NewConv2D(s1, 32)
+	p1 := NewMaxPool2D(32, 28, 28, 2)
+	s2 := tensor.ConvShape{InC: 32, InH: 14, InW: 14, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c2 := NewConv2D(s2, 64)
+	p2 := NewMaxPool2D(64, 14, 14, 2)
+	net := MustNetwork(c1, NewReLU(c1.OutSize()), p1, c2, NewReLU(c2.OutSize()), p2,
+		NewDense(64*7*7, 10))
+	if net.InSize() != 784 || net.OutSize() != 10 {
+		t.Fatalf("paper CNN sizes wrong: in %d out %d", net.InSize(), net.OutSize())
+	}
+	// Forward/backward smoke test at full size.
+	rng := rand.New(rand.NewSource(8))
+	params := make([]float64, net.NumParams())
+	net.InitParams(rng, params)
+	x := make([]float64, 784)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	ws := net.NewWorkspace()
+	out := net.Forward(params, x, ws)
+	if len(out) != 10 {
+		t.Fatal("bad output")
+	}
+	grad := make([]float64, net.NumParams())
+	net.Backward(params, make([]float64, 10), ws, grad)
+}
+
+func BenchmarkPaperCNNForward(b *testing.B) {
+	s1 := tensor.ConvShape{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c1 := NewConv2D(s1, 32)
+	p1 := NewMaxPool2D(32, 28, 28, 2)
+	s2 := tensor.ConvShape{InC: 32, InH: 14, InW: 14, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c2 := NewConv2D(s2, 64)
+	p2 := NewMaxPool2D(64, 14, 14, 2)
+	net := MustNetwork(c1, NewReLU(c1.OutSize()), p1, c2, NewReLU(c2.OutSize()), p2,
+		NewDense(64*7*7, 10))
+	rng := rand.New(rand.NewSource(1))
+	params := make([]float64, net.NumParams())
+	net.InitParams(rng, params)
+	x := make([]float64, 784)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	ws := net.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(params, x, ws)
+	}
+}

@@ -1,0 +1,277 @@
+package optim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/randx"
+)
+
+// Estimator selects the stochastic gradient direction v^(t) of Algorithm 1.
+type Estimator int
+
+const (
+	// SGD uses the vanilla stochastic gradient v^(t) = ∇f_it(w^(t)).
+	SGD Estimator = iota
+	// SVRG uses eq. (8b): v = ∇f_it(w^(t)) − ∇f_it(w^(0)) + v^(0).
+	SVRG
+	// SARAH uses eq. (8a): v = ∇f_it(w^(t)) − ∇f_it(w^(t−1)) + v^(t−1).
+	SARAH
+)
+
+// String implements fmt.Stringer.
+func (e Estimator) String() string {
+	switch e {
+	case SGD:
+		return "SGD"
+	case SVRG:
+		return "SVRG"
+	case SARAH:
+		return "SARAH"
+	default:
+		return fmt.Sprintf("Estimator(%d)", int(e))
+	}
+}
+
+// ParseEstimator converts a name ("sgd", "svrg", "sarah") to an Estimator.
+func ParseEstimator(s string) (Estimator, error) {
+	switch s {
+	case "sgd", "SGD":
+		return SGD, nil
+	case "svrg", "SVRG":
+		return SVRG, nil
+	case "sarah", "SARAH":
+		return SARAH, nil
+	}
+	return 0, fmt.Errorf("optim: unknown estimator %q", s)
+}
+
+// ReturnPolicy selects which local iterate the device reports (Alg. 1
+// line 10 draws uniformly at random from {w^(0), …, w^(τ)}; practical runs
+// use the last iterate).
+type ReturnPolicy int
+
+const (
+	// ReturnLast reports the final iterate w^(τ+1).
+	ReturnLast ReturnPolicy = iota
+	// ReturnRandom reports a uniformly random iterate from {0,…,τ}, as in
+	// the paper's Algorithm 1.
+	ReturnRandom
+	// ReturnAverage reports the average of all iterates.
+	ReturnAverage
+)
+
+// EtaSchedule selects how the local step size evolves over the inner loop.
+// The paper uses a fixed step size ("more practical than diminishing",
+// footnote 1); the diminishing schedule exists as the ablation baseline.
+type EtaSchedule int
+
+const (
+	// EtaFixed uses η at every local iteration (the paper's choice).
+	EtaFixed EtaSchedule = iota
+	// EtaDiminishing uses η/√(t+1) at local iteration t.
+	EtaDiminishing
+)
+
+// LocalConfig parametrizes one device's inner loop.
+type LocalConfig struct {
+	Estimator Estimator
+	Eta       float64 // step size η = 1/(βL)
+	Tau       int     // number of local iterations τ
+	Batch     int     // mini-batch size B (≥1)
+	Mu        float64 // proximal penalty μ (0 disables the prox term)
+	Return    ReturnPolicy
+	Schedule  EtaSchedule
+	// ClipNorm, when positive, rescales the stochastic direction v^(t) to
+	// at most this Euclidean norm before the proximal step — a standard
+	// stabilizer for aggressive step sizes on non-convex models.
+	ClipNorm float64
+}
+
+// etaAt returns the step size for local iteration t under the schedule.
+func (c LocalConfig) etaAt(t int) float64 {
+	if c.Schedule == EtaDiminishing {
+		return c.Eta / math.Sqrt(float64(t+1))
+	}
+	return c.Eta
+}
+
+// Validate reports configuration errors.
+func (c LocalConfig) Validate() error {
+	if c.Eta <= 0 {
+		return fmt.Errorf("optim: step size must be positive, got %v", c.Eta)
+	}
+	if c.Tau < 0 {
+		return fmt.Errorf("optim: tau must be non-negative, got %d", c.Tau)
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("optim: batch must be at least 1, got %d", c.Batch)
+	}
+	if c.Mu < 0 {
+		return fmt.Errorf("optim: mu must be non-negative, got %v", c.Mu)
+	}
+	if c.ClipNorm < 0 {
+		return fmt.Errorf("optim: clip norm must be non-negative, got %v", c.ClipNorm)
+	}
+	return nil
+}
+
+// Solver runs the inner loop of Algorithm 1 for one device. It owns
+// reusable scratch, so one Solver per device avoids per-round allocation;
+// a Solver must not be shared across goroutines.
+type Solver struct {
+	model models.Model
+	dim   int
+
+	w      []float64 // current iterate w^(t)
+	wPrev  []float64 // previous iterate (SARAH)
+	v      []float64 // current direction v^(t)
+	anchor []float64 // w̄^(s−1) copy
+	vFull  []float64 // v^(0): full local gradient at the anchor
+	g1, g2 []float64 // minibatch gradient scratch
+	pre    []float64 // w − ηv before prox
+	avg    []float64 // ReturnAverage accumulator
+	batch  []int
+}
+
+// NewSolver builds a solver bound to a model (scratch sized to its Dim).
+func NewSolver(m models.Model) *Solver {
+	d := m.Dim()
+	return &Solver{
+		model: m, dim: d,
+		w: make([]float64, d), wPrev: make([]float64, d),
+		v: make([]float64, d), anchor: make([]float64, d),
+		vFull: make([]float64, d), g1: make([]float64, d),
+		g2: make([]float64, d), pre: make([]float64, d),
+		avg: make([]float64, d),
+	}
+}
+
+// Solve runs the inner loop on shard ds from global model anchor and writes
+// the reported local iterate into out. It returns the number of gradient
+// evaluations spent (a proxy for d_cmp in the timing model).
+func (s *Solver) Solve(ds *data.Dataset, anchor, out []float64, cfg LocalConfig, rng *rand.Rand) int {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(anchor) != s.dim || len(out) != s.dim {
+		panic("optim: Solve dimension mismatch")
+	}
+	if ds.N() == 0 {
+		copy(out, anchor)
+		return 0
+	}
+	if cap(s.batch) < cfg.Batch {
+		s.batch = make([]int, cfg.Batch)
+	}
+	batch := s.batch[:cfg.Batch]
+
+	copy(s.anchor, anchor)
+	copy(s.w, anchor)
+	prox := Prox{Mu: cfg.Mu, Anchor: s.anchor}
+
+	// Line 4: full local gradient at the anchor and first proximal step.
+	s.model.Grad(s.vFull, s.w, ds, nil)
+	copy(s.v, s.vFull)
+	gradEvals := ds.N()
+
+	// Pick the reported iterate up front for ReturnRandom (reservoir-free).
+	reportT := -1
+	if cfg.Return == ReturnRandom {
+		reportT = rng.Intn(cfg.Tau + 1)
+	}
+	if cfg.Return == ReturnAverage {
+		mathx.Zero(s.avg)
+	}
+	record := func(t int) {
+		switch cfg.Return {
+		case ReturnRandom:
+			if t == reportT {
+				copy(out, s.w)
+			}
+		case ReturnAverage:
+			mathx.Axpy(1/float64(cfg.Tau+1), s.w, s.avg)
+		}
+	}
+	record(0)
+
+	// w^(1) = prox(w^(0) − η v^(0)).
+	copy(s.wPrev, s.w)
+	s.clip(cfg)
+	eta0 := cfg.etaAt(0)
+	mathx.AddScaled(s.pre, s.w, -eta0, s.v)
+	prox.Apply(s.w, s.pre, eta0)
+
+	// Lines 5–9: τ stochastic proximal steps.
+	for t := 1; t <= cfg.Tau; t++ {
+		randx.Batch(rng, batch, ds.N())
+		switch cfg.Estimator {
+		case SGD:
+			s.model.Grad(s.v, s.w, ds, batch)
+			gradEvals += cfg.Batch
+		case SVRG:
+			// v = ∇f_B(w^(t)) − ∇f_B(w^(0)) + v^(0)
+			s.model.Grad(s.g1, s.w, ds, batch)
+			s.model.Grad(s.g2, s.anchor, ds, batch)
+			for i := range s.v {
+				s.v[i] = s.g1[i] - s.g2[i] + s.vFull[i]
+			}
+			gradEvals += 2 * cfg.Batch
+		case SARAH:
+			// v = ∇f_B(w^(t)) − ∇f_B(w^(t−1)) + v^(t−1)
+			s.model.Grad(s.g1, s.w, ds, batch)
+			s.model.Grad(s.g2, s.wPrev, ds, batch)
+			for i := range s.v {
+				s.v[i] = s.g1[i] - s.g2[i] + s.v[i]
+			}
+			gradEvals += 2 * cfg.Batch
+		default:
+			panic(fmt.Sprintf("optim: unknown estimator %d", cfg.Estimator))
+		}
+		record(t)
+		copy(s.wPrev, s.w)
+		s.clip(cfg)
+		eta := cfg.etaAt(t)
+		mathx.AddScaled(s.pre, s.w, -eta, s.v)
+		prox.Apply(s.w, s.pre, eta)
+	}
+
+	switch cfg.Return {
+	case ReturnLast:
+		copy(out, s.w)
+	case ReturnAverage:
+		copy(out, s.avg)
+	case ReturnRandom:
+		// out already holds iterate reportT.
+	}
+	return gradEvals
+}
+
+// clip rescales s.v to at most cfg.ClipNorm when clipping is enabled.
+func (s *Solver) clip(cfg LocalConfig) {
+	if cfg.ClipNorm <= 0 {
+		return
+	}
+	n := mathx.Nrm2(s.v)
+	if n > cfg.ClipNorm {
+		mathx.Scal(cfg.ClipNorm/n, s.v)
+	}
+}
+
+// SurrogateGradNorm returns ‖∇J_n(w)‖ = ‖∇F_n(w) + μ(w − anchor)‖ — the
+// left-hand side of the local convergence criterion (11).
+func (s *Solver) SurrogateGradNorm(ds *data.Dataset, w, anchor []float64, mu float64) float64 {
+	s.model.Grad(s.g1, w, ds, nil)
+	Prox{Mu: mu, Anchor: anchor}.AddGrad(s.g1, w)
+	return mathx.Nrm2(s.g1)
+}
+
+// LocalGradNorm returns ‖∇F_n(w)‖ — the right-hand side of criterion (11).
+func (s *Solver) LocalGradNorm(ds *data.Dataset, w []float64) float64 {
+	s.model.Grad(s.g1, w, ds, nil)
+	return mathx.Nrm2(s.g1)
+}

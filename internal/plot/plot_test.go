@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var b strings.Builder
+	if err := c.RenderSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRenderBasicChart(t *testing.T) {
+	c := &Chart{
+		Title:  "Convergence",
+		XLabel: "round",
+		YLabel: "loss",
+		Lines: []Line{
+			{Name: "FedAvg", X: []float64{0, 1, 2}, Y: []float64{2.3, 1.8, 1.2}},
+			{Name: "FedProxVR", X: []float64{0, 1, 2}, Y: []float64{2.3, 1.5, 0.9}},
+		},
+	}
+	svg := render(t, c)
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Convergence", "FedAvg", "FedProxVR",
+		"round", "loss",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Two data polylines + legend lines; at least 2 polylines present.
+	if strings.Count(svg, "<polyline") < 2 {
+		t.Fatal("expected one polyline per series")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (&Chart{}).RenderSVG(&b); err == nil {
+		t.Fatal("empty chart should error")
+	}
+	bad := &Chart{Lines: []Line{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := bad.RenderSVG(&b); err == nil {
+		t.Fatal("ragged line should error")
+	}
+	nanOnly := &Chart{Lines: []Line{{Name: "x", X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if err := nanOnly.RenderSVG(&b); err == nil {
+		t.Fatal("no finite points should error")
+	}
+}
+
+func TestNaNBreaksPolyline(t *testing.T) {
+	c := &Chart{Lines: []Line{{
+		Name: "gap",
+		X:    []float64{0, 1, 2, 3, 4},
+		Y:    []float64{1, 2, math.NaN(), 3, 4},
+	}}}
+	svg := render(t, c)
+	// The NaN splits the series into two polylines.
+	if strings.Count(svg, "<polyline") < 2 {
+		t.Fatalf("NaN should split the polyline:\n%s", svg)
+	}
+}
+
+func TestLogXAxis(t *testing.T) {
+	c := &Chart{
+		LogX: true,
+		Lines: []Line{{
+			Name: "sweep",
+			X:    []float64{1e-4, 1e-3, 1e-2, 1e-1},
+			Y:    []float64{1, 2, 3, 4},
+		}},
+	}
+	svg := render(t, c)
+	// The first tick label should be the data-space value 0.0001.
+	if !strings.Contains(svg, "0.0001") {
+		t.Fatalf("log axis labels missing:\n%s", svg)
+	}
+}
+
+func TestConstantSeriesDoesNotDivideByZero(t *testing.T) {
+	c := &Chart{Lines: []Line{{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}}}
+	svg := render(t, c)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into svg")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{
+		Title: `a<b & "c"`,
+		Lines: []Line{{Name: "x>y", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	svg := render(t, c)
+	if strings.Contains(svg, `a<b & "c"`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	l := FromSeries("s", []int{0, 5, 10}, []float64{3, 2, 1})
+	if l.X[2] != 10 || l.Y[0] != 3 || l.Name != "s" {
+		t.Fatalf("FromSeries wrong: %+v", l)
+	}
+}

@@ -1,0 +1,156 @@
+// Package randx provides deterministic, splittable random-number utilities
+// for reproducible federated-learning experiments: every device, dataset and
+// algorithm run draws from an independently seeded stream derived from a
+// single experiment seed, so runs are bit-for-bit repeatable regardless of
+// goroutine scheduling.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitMix64 advances a 64-bit state and returns a well-mixed value. It is
+// used only for deriving independent sub-seeds, never for sampling.
+func splitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives an independent sub-seed from a parent
+// seed and a stream index. Distinct (seed, stream) pairs yield decorrelated
+// generators.
+func DeriveSeed(seed int64, stream int64) int64 {
+	h := splitMix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(stream))
+	return int64(h)
+}
+
+// New returns a rand.Rand seeded with seed.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// NewStream returns a rand.Rand for sub-stream `stream` of `seed`.
+func NewStream(seed, stream int64) *rand.Rand { return New(DeriveSeed(seed, stream)) }
+
+// NormalVec fills dst with i.i.d. N(mean, stddev²) samples.
+func NormalVec(rng *rand.Rand, dst []float64, mean, stddev float64) {
+	for i := range dst {
+		dst[i] = mean + stddev*rng.NormFloat64()
+	}
+}
+
+// UniformVec fills dst with i.i.d. Uniform[lo, hi) samples.
+func UniformVec(rng *rand.Rand, dst []float64, lo, hi float64) {
+	for i := range dst {
+		dst[i] = lo + (hi-lo)*rng.Float64()
+	}
+}
+
+// LogNormal draws one sample of exp(N(mu, sigma²)).
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// PowerLawSizes draws n device sample counts following a power-law (Pareto)
+// distribution scaled into [min, max], mimicking the highly skewed per-device
+// data volumes used by FedProx and this paper ("each of the devices has a
+// different sample size, generated according to the power law").
+// alpha > 0 controls the skew (smaller alpha → heavier tail).
+func PowerLawSizes(rng *rand.Rand, n int, alpha float64, min, max int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	sizes := make([]int, n)
+	span := float64(max - min)
+	for i := range sizes {
+		// Inverse-CDF sampling of a bounded Pareto on [1, ratio].
+		u := rng.Float64()
+		// x in [0,1], density ∝ (1-u)^(1/alpha) concentrated near 0.
+		x := math.Pow(u, 1/alpha)
+		sizes[i] = min + int(span*(1-x))
+	}
+	return sizes
+}
+
+// ChoiceWithout returns k distinct indices drawn uniformly from [0, n).
+// Panics if k > n.
+func ChoiceWithout(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic("randx: ChoiceWithout k > n")
+	}
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// Batch fills dst with len(dst) indices drawn uniformly (with replacement)
+// from [0, n). This is the mini-batch sampler used by the inner loop of
+// Algorithm 1 ("uniformly randomly pick (x_it, y_it) ∈ D_n").
+func Batch(rng *rand.Rand, dst []int, n int) {
+	for i := range dst {
+		dst[i] = rng.Intn(n)
+	}
+}
+
+// Shuffle permutes xs in place.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Gamma draws one sample of the Gamma(shape, 1) distribution using
+// Marsaglia–Tsang squeeze sampling, with the standard boosting
+// transformation for shape < 1.
+func Gamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic("randx: Gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Boost: X_a = X_{a+1} · U^{1/a}.
+		return Gamma(rng, shape+1) * math.Pow(rng.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet fills dst with one draw of the symmetric Dirichlet(alpha)
+// distribution over len(dst) categories: independent Gamma(alpha, 1)
+// samples normalized to sum 1.
+func Dirichlet(rng *rand.Rand, dst []float64, alpha float64) {
+	var sum float64
+	for i := range dst {
+		dst[i] = Gamma(rng, alpha)
+		sum += dst[i]
+	}
+	if sum == 0 {
+		// Numerically possible for tiny alpha: fall back to a one-hot.
+		dst[rng.Intn(len(dst))] = 1
+		return
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}

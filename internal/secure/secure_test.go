@@ -1,0 +1,172 @@
+package secure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/randx"
+)
+
+func maskAll(t *testing.T, updates [][]float64, scales []float64, seed int64) [][]float64 {
+	t.Helper()
+	n := len(updates)
+	dim := len(updates[0])
+	masked := make([][]float64, n)
+	for id := 0; id < n; id++ {
+		mk := &Masker{ID: id, N: n, Dim: dim, GroupSeed: seed}
+		masked[id] = make([]float64, dim)
+		if err := mk.Mask(masked[id], updates[id], scales[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return masked
+}
+
+func TestMasksCancelInAggregate(t *testing.T) {
+	rng := randx.New(1)
+	const n, dim = 5, 40
+	updates := make([][]float64, n)
+	scales := make([]float64, n)
+	var total float64
+	want := make([]float64, dim)
+	for i := range updates {
+		updates[i] = make([]float64, dim)
+		randx.NormalVec(rng, updates[i], 0, 1)
+		scales[i] = float64(10 + i*7) // unequal D_n
+		total += scales[i]
+	}
+	for i := range updates {
+		mathx.Axpy(scales[i], updates[i], want)
+	}
+	mathx.Scal(1/total, want) // the true weighted average
+
+	masked := maskAll(t, updates, scales, 99)
+	got, err := Aggregate(masked, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		// Masks are O(100); cancellation leaves rounding noise only.
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("aggregate differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIndividualSubmissionsAreMasked(t *testing.T) {
+	rng := randx.New(2)
+	const n, dim = 4, 60
+	updates := make([][]float64, n)
+	scales := make([]float64, n)
+	for i := range updates {
+		updates[i] = make([]float64, dim)
+		randx.NormalVec(rng, updates[i], 0, 1)
+		scales[i] = 1
+	}
+	masked := maskAll(t, updates, scales, 7)
+	for i := range masked {
+		ratio := LeakageRatio(masked[i], updates[i], scales[i])
+		if ratio < 10 {
+			t.Fatalf("submission %d insufficiently masked: leakage ratio %v", i, ratio)
+		}
+	}
+}
+
+func TestAggregateRequiresAllSubmissions(t *testing.T) {
+	rng := randx.New(3)
+	const n, dim = 4, 30
+	updates := make([][]float64, n)
+	scales := make([]float64, n)
+	for i := range updates {
+		updates[i] = make([]float64, dim)
+		randx.NormalVec(rng, updates[i], 0, 1)
+		scales[i] = 1
+	}
+	masked := maskAll(t, updates, scales, 11)
+	full, err := Aggregate(masked, float64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping one submission leaves uncancelled masks → garbage.
+	partial, err := Aggregate(masked[:n-1], float64(n-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mathx.Nrm2(partial) < 10*mathx.Nrm2(full) {
+		t.Fatalf("dropout should corrupt the sum: ‖partial‖=%v vs ‖full‖=%v",
+			mathx.Nrm2(partial), mathx.Nrm2(full))
+	}
+}
+
+func TestMaskerValidation(t *testing.T) {
+	mk := &Masker{ID: 0, N: 1, Dim: 3, GroupSeed: 1}
+	dst := make([]float64, 3)
+	if err := mk.Mask(dst, []float64{1, 2, 3}, 1); err == nil {
+		t.Fatal("N=1 should error")
+	}
+	mk = &Masker{ID: 5, N: 3, Dim: 3, GroupSeed: 1}
+	if err := mk.Mask(dst, []float64{1, 2, 3}, 1); err == nil {
+		t.Fatal("id out of range should error")
+	}
+	mk = &Masker{ID: 0, N: 3, Dim: 4, GroupSeed: 1}
+	if err := mk.Mask(dst, []float64{1, 2, 3}, 1); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+	if _, err := Aggregate(nil, 1); err == nil {
+		t.Fatal("empty aggregate should error")
+	}
+	if _, err := Aggregate([][]float64{{1}, {2}}, 0); err == nil {
+		t.Fatal("zero totalScale should error")
+	}
+	if _, err := Aggregate([][]float64{{1}, {2, 3}}, 1); err == nil {
+		t.Fatal("ragged submissions should error")
+	}
+}
+
+// Property: for any cohort size ≥2 and any updates, aggregation recovers
+// the exact weighted mean.
+func TestSecureAggregationQuick(t *testing.T) {
+	f := func(seed int64, nRaw, dimRaw uint8) bool {
+		n := 2 + int(nRaw%6)
+		dim := 1 + int(dimRaw%20)
+		rng := randx.New(seed)
+		updates := make([][]float64, n)
+		scales := make([]float64, n)
+		var total float64
+		want := make([]float64, dim)
+		for i := range updates {
+			updates[i] = make([]float64, dim)
+			randx.NormalVec(rng, updates[i], 0, 1)
+			scales[i] = 1 + rng.Float64()*5
+			total += scales[i]
+		}
+		for i := range updates {
+			mathx.Axpy(scales[i], updates[i], want)
+		}
+		mathx.Scal(1/total, want)
+
+		masked := make([][]float64, n)
+		for id := 0; id < n; id++ {
+			mk := &Masker{ID: id, N: n, Dim: dim, GroupSeed: seed + 1}
+			masked[id] = make([]float64, dim)
+			if err := mk.Mask(masked[id], updates[id], scales[id]); err != nil {
+				return false
+			}
+		}
+		got, err := Aggregate(masked, total)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"fedproxvr/internal/core"
+	"fedproxvr/internal/metrics"
+)
+
+// TimedPoint couples a metric point with its simulated wall-clock time.
+type TimedPoint struct {
+	Time float64 // seconds of simulated training time up to this round
+	metrics.Point
+}
+
+// TimedSeries is a time-stamped training trajectory.
+type TimedSeries struct {
+	Name   string
+	Points []TimedPoint
+}
+
+// TimeToLoss returns the simulated time at which the training loss first
+// reaches target, or -1 if never.
+func (s *TimedSeries) TimeToLoss(target float64) float64 {
+	for _, p := range s.Points {
+		if p.TrainLoss <= target {
+			return p.Time
+		}
+	}
+	return -1
+}
+
+// TimeToAcc returns the simulated time at which test accuracy first
+// reaches target, or -1 if never.
+func (s *TimedSeries) TimeToAcc(target float64) float64 {
+	for _, p := range s.Points {
+		if !math.IsNaN(p.TestAcc) && p.TestAcc >= target {
+			return p.Time
+		}
+	}
+	return -1
+}
+
+// TotalTime returns the simulated duration of the whole run.
+func (s *TimedSeries) TotalTime() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Time
+}
+
+// Train runs the federated runner against the fleet's clock: each round
+// advances simulated time by the straggler-aware synchronous round time
+// 𝒯_round = max over participants of (downlink + τ·compute + uplink).
+// This realizes the paper's training-time model (19) empirically.
+func Train(r *core.Runner, fleet *Fleet, measureEvery int) (*TimedSeries, error) {
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := r.Config()
+	if len(fleet.Profiles) < len(r.Devices()) {
+		return nil, fmt.Errorf("simnet: fleet has %d profiles for %d devices",
+			len(fleet.Profiles), len(r.Devices()))
+	}
+	if measureEvery < 1 {
+		measureEvery = 1
+	}
+	out := &TimedSeries{Name: cfg.Name}
+	now := 0.0
+	measure := func(round int) {
+		p := metrics.Point{Round: round, TrainLoss: r.GlobalLoss(), TestAcc: math.NaN()}
+		out.Points = append(out.Points, TimedPoint{Time: now, Point: p})
+	}
+	measure(0)
+	for t := 1; t <= cfg.Rounds; t++ {
+		participants := r.Step()
+		now += fleet.RoundTime(participants, cfg.Local.Tau)
+		if t%measureEvery == 0 || t == cfg.Rounds {
+			measure(t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package tensor
+
+// ConvShape describes a 2-D convolution over a channels-first (C, H, W)
+// input volume.
+type ConvShape struct {
+	InC, InH, InW int // input channels / height / width
+	KH, KW        int // kernel height / width
+	Stride        int
+	Pad           int // symmetric zero padding
+}
+
+// OutH returns the output height.
+func (s ConvShape) OutH() int { return (s.InH+2*s.Pad-s.KH)/s.Stride + 1 }
+
+// OutW returns the output width.
+func (s ConvShape) OutW() int { return (s.InW+2*s.Pad-s.KW)/s.Stride + 1 }
+
+// ColRows returns the number of rows of the im2col matrix: InC*KH*KW.
+func (s ConvShape) ColRows() int { return s.InC * s.KH * s.KW }
+
+// ColCols returns the number of columns of the im2col matrix: OutH*OutW.
+func (s ConvShape) ColCols() int { return s.OutH() * s.OutW() }
+
+// Im2Col unrolls the input volume (len = InC*InH*InW, channels-first) into
+// col, a ColRows×ColCols row-major matrix, so that convolution becomes a
+// single GEMM: out(OC × OutH*OutW) = W(OC × ColRows) · col.
+// Out-of-bounds taps (padding) contribute zeros.
+func Im2Col(s ConvShape, input, col []float64) {
+	oh, ow := s.OutH(), s.OutW()
+	cols := oh * ow
+	if len(input) != s.InC*s.InH*s.InW {
+		panic("tensor: Im2Col input size mismatch")
+	}
+	if len(col) != s.ColRows()*cols {
+		panic("tensor: Im2Col col size mismatch")
+	}
+	r := 0
+	for c := 0; c < s.InC; c++ {
+		chBase := c * s.InH * s.InW
+		for ky := 0; ky < s.KH; ky++ {
+			for kx := 0; kx < s.KW; kx++ {
+				dst := col[r*cols : (r+1)*cols]
+				r++
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.Stride + ky - s.Pad
+					if iy < 0 || iy >= s.InH {
+						for ox := 0; ox < ow; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := chBase + iy*s.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s.Stride + kx - s.Pad
+						if ix < 0 || ix >= s.InW {
+							dst[i] = 0
+						} else {
+							dst[i] = input[rowBase+ix]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatter-adds the columns back into an
+// input-shaped gradient buffer. dInput is NOT zeroed first so contributions
+// can accumulate across calls; callers zero it when starting a new sample.
+func Col2Im(s ConvShape, col, dInput []float64) {
+	oh, ow := s.OutH(), s.OutW()
+	cols := oh * ow
+	if len(dInput) != s.InC*s.InH*s.InW {
+		panic("tensor: Col2Im input size mismatch")
+	}
+	if len(col) != s.ColRows()*cols {
+		panic("tensor: Col2Im col size mismatch")
+	}
+	r := 0
+	for c := 0; c < s.InC; c++ {
+		chBase := c * s.InH * s.InW
+		for ky := 0; ky < s.KH; ky++ {
+			for kx := 0; kx < s.KW; kx++ {
+				src := col[r*cols : (r+1)*cols]
+				r++
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.Stride + ky - s.Pad
+					if iy < 0 || iy >= s.InH {
+						i += ow
+						continue
+					}
+					rowBase := chBase + iy*s.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s.Stride + kx - s.Pad
+						if ix >= 0 && ix < s.InW {
+							dInput[rowBase+ix] += src[i]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package tensor provides dense row-major matrices and the compute kernels
+// (gemm, matvec, im2col) that back the neural-network substrate. Kernels are
+// written cache-consciously and the large ones can fan work out across
+// GOMAXPROCS goroutines via ParallelFor.
+package tensor
+
+import "fmt"
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// WrapMatrix builds a Matrix view over existing backing data without
+// copying. len(data) must be rows*cols.
+func WrapMatrix(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: WrapMatrix %dx%d over %d elements", rows, cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// MatVec computes dst = M·x. dst must have length M.Rows and must not alias x.
+func MatVec(dst []float64, m *Matrix, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatTVec computes dst = Mᵀ·x. dst must have length M.Cols and must not alias x.
+func MatTVec(dst []float64, m *Matrix, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("tensor: MatTVec dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// Gemm computes C = alpha*A*B + beta*C for row-major dense matrices.
+// A is (M×K), B is (K×N), C is (M×N). The inner loops follow the ikj
+// ordering so that B and C are walked sequentially.
+func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Gemm dims A %dx%d B %dx%d C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				crow[j] += s * bv
+			}
+		}
+	}
+}
+
+// GemmParallel is Gemm with the rows of A distributed over the worker pool.
+// It falls back to the serial kernel for small problems where goroutine
+// fan-out costs more than it saves.
+func GemmParallel(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	const parallelThreshold = 64 * 64 * 64 // ~FLOPs below which serial wins
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		Gemm(alpha, a, b, beta, c)
+		return
+	}
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: GemmParallel dimension mismatch")
+	}
+	n := b.Cols
+	ParallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Row(i)
+			if beta != 1 {
+				for j := range crow {
+					crow[j] *= beta
+				}
+			}
+			arow := a.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s := alpha * av
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					crow[j] += s * bv
+				}
+			}
+		}
+	})
+}

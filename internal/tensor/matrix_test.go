@@ -1,0 +1,204 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is the reference O(n^3) triple loop in ijk order.
+func naiveGemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func matricesClose(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At broken")
+	}
+	if len(m.Row(1)) != 3 || m.Row(1)[2] != 7 {
+		t.Fatal("Row view broken")
+	}
+	c := m.Clone()
+	m.Zero()
+	if c.At(1, 2) != 7 {
+		t.Fatal("Clone aliases data")
+	}
+	if m.At(1, 2) != 0 {
+		t.Fatal("Zero broken")
+	}
+}
+
+func TestWrapMatrix(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := WrapMatrix(2, 3, data)
+	if m.At(1, 0) != 4 {
+		t.Fatal("WrapMatrix layout wrong")
+	}
+	m.Set(0, 0, 9)
+	if data[0] != 9 {
+		t.Fatal("WrapMatrix should alias data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong backing length")
+		}
+	}()
+	WrapMatrix(2, 2, data)
+}
+
+func TestTranspose(t *testing.T) {
+	m := WrapMatrix(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatal("Transpose dims wrong")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatal("Transpose values wrong")
+			}
+		}
+	}
+}
+
+func TestMatVecAndMatTVec(t *testing.T) {
+	m := WrapMatrix(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	MatVec(dst, m, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MatVec -> %v", dst)
+	}
+	y := []float64{1, 2}
+	dt := make([]float64, 3)
+	MatTVec(dt, m, y)
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if dt[i] != want[i] {
+			t.Fatalf("MatTVec -> %v, want %v", dt, want)
+		}
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {7, 2, 9}, {16, 16, 16}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		c1 := randMatrix(rng, m, n)
+		c2 := c1.Clone()
+		Gemm(1.3, a, b, 0.7, c1)
+		naiveGemm(1.3, a, b, 0.7, c2)
+		if !matricesClose(c1, c2, 1e-10) {
+			t.Fatalf("Gemm mismatch at dims %v", dims)
+		}
+	}
+}
+
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMatrix(rng, 80, 90)
+	b := randMatrix(rng, 90, 70)
+	c1 := randMatrix(rng, 80, 70)
+	c2 := c1.Clone()
+	Gemm(1, a, b, 0, c1)
+	GemmParallel(1, a, b, 0, c2)
+	if !matricesClose(c1, c2, 1e-10) {
+		t.Fatal("GemmParallel differs from Gemm")
+	}
+}
+
+func TestGemmDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	Gemm(1, NewMatrix(2, 3), NewMatrix(4, 5), 0, NewMatrix(2, 5))
+}
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	const n = 1000
+	hits := make([]int32, n)
+	ParallelForEach(n, func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	// n == 0 must be a no-op.
+	ParallelFor(0, func(lo, hi int) { t.Error("body called for n=0") })
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random sizes.
+func TestGemmTransposeIdentityQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		ab := NewMatrix(m, n)
+		Gemm(1, a, b, 0, ab)
+		btat := NewMatrix(n, m)
+		Gemm(1, b.Transpose(), a.Transpose(), 0, btat)
+		return matricesClose(ab.Transpose(), btat, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGemm64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 64, 64)
+	y := randMatrix(rng, 64, 64)
+	z := NewMatrix(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(1, x, y, 0, z)
+	}
+}
+
+func BenchmarkGemmParallel256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 256, 256)
+	y := randMatrix(rng, 256, 256)
+	z := NewMatrix(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmParallel(1, x, y, 0, z)
+	}
+}

@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor splits [0, n) into contiguous chunks, one per worker, and runs
+// body(lo, hi) on each chunk concurrently. It blocks until all chunks finish.
+// body must be safe to run concurrently on disjoint ranges.
+//
+// n <= 0 is a no-op. With a single logical CPU (or n == 1) the body runs
+// inline on the calling goroutine, so the function is safe to use in tight
+// loops without fan-out overhead dominating.
+func ParallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelForEach runs body(i) for every i in [0, n) using ParallelFor.
+func ParallelForEach(n int, body func(i int)) {
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// MaxWorkers reports the maximum fan-out parallel helpers will use
+// (GOMAXPROCS at call time).
+func MaxWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,159 @@
+// Package theory implements the paper's analytical results as executable
+// calculators: the Lemma 1 bounds tying the step-size parameter β, local
+// iterations τ and local accuracy θ; the Theorem 1 federated factor Θ and
+// Corollary 1 round count T; and the Section 4.3 training-time model and
+// its numeric optimizer over (β, μ), which regenerates Figure 1.
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem carries the smoothness/convexity constants of Assumption 1 and
+// the data-heterogeneity level.
+type Problem struct {
+	L         float64 // L-smoothness of f_i
+	Lambda    float64 // bounded non-convexity: F_n is (−λ)-strongly convex
+	SigmaBar2 float64 // σ̄² = Σ (D_n/D) σ_n², the divergence of eq. (5)
+}
+
+// Validate reports invalid constants.
+func (p Problem) Validate() error {
+	if p.L <= 0 {
+		return fmt.Errorf("theory: L must be positive, got %v", p.L)
+	}
+	if p.Lambda < 0 {
+		return fmt.Errorf("theory: lambda must be non-negative, got %v", p.Lambda)
+	}
+	if p.SigmaBar2 < 0 {
+		return fmt.Errorf("theory: sigma-bar² must be non-negative, got %v", p.SigmaBar2)
+	}
+	return nil
+}
+
+// MuTilde returns μ̃ = μ − λ, the strong-convexity modulus of the local
+// surrogate J_n. The paper requires μ̃ > 0.
+func (p Problem) MuTilde(mu float64) float64 { return mu - p.Lambda }
+
+// TauUpperSARAH returns the Lemma 1(a) upper bound (5β² − 4β)/8 on τ for
+// the SARAH estimator. Negative results (β < 4/5) mean no τ is admissible.
+func TauUpperSARAH(beta float64) float64 {
+	return (5*beta*beta - 4*beta) / 8
+}
+
+// MinFeasibleA returns the smallest a > 0 satisfying the SVRG feasibility
+// condition (65): a − 4 ≥ 4√(a(τ+1)). Setting s = √a, the binding equality
+// s² − 4√(τ+1)·s − 4 = 0 gives s = 2√(τ+1) + 2√(τ+2).
+func MinFeasibleA(tau float64) float64 {
+	if tau < 0 {
+		tau = 0
+	}
+	s := 2*math.Sqrt(tau+1) + 2*math.Sqrt(tau+2)
+	return s * s
+}
+
+// TauUpperSVRG returns the Lemma 1(b) upper bound (5β² − 4β)/(8a) − 2 for
+// a given a.
+func TauUpperSVRG(beta, a float64) float64 {
+	if a <= 0 {
+		panic("theory: a must be positive")
+	}
+	return (5*beta*beta-4*beta)/(8*a) - 2
+}
+
+// MaxTauSVRG returns the largest integer τ that is jointly feasible for
+// SVRG at a given β: τ ≤ (5β²−4β)/(8·aMin(τ)) − 2 with aMin from
+// MinFeasibleA. The left side grows and the right side falls in τ, so the
+// feasible set is an interval [0, τ*] and binary search finds τ* in
+// O(log β). Returns −1 if no τ ≥ 0 is feasible.
+func MaxTauSVRG(beta float64) int {
+	feasible := func(tau int) bool {
+		return float64(tau) <= TauUpperSVRG(beta, MinFeasibleA(float64(tau)))
+	}
+	if !feasible(0) {
+		return -1
+	}
+	lo := 0
+	hi := int(TauUpperSARAH(beta)) // SVRG bound is stricter, so τ* ≤ this
+	if hi < 0 {
+		hi = 0
+	}
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// TauLower returns the Lemma 1 lower bound
+//
+//	3(β²L² + μ²) / (θ² μ̃ L (β − 3))
+//
+// valid for β > 3 and μ̃ = μ − λ > 0; it returns +Inf when the
+// preconditions fail (no finite τ satisfies the bound).
+func (p Problem) TauLower(beta, theta, mu float64) float64 {
+	mt := p.MuTilde(mu)
+	if beta <= 3 || mt <= 0 || theta <= 0 {
+		return math.Inf(1)
+	}
+	return 3 * (beta*beta*p.L*p.L + mu*mu) / (theta * theta * mt * p.L * (beta - 3))
+}
+
+// ThetaFromBound inverts eq. (22): the local accuracy achieved when τ is
+// set to its SARAH upper bound,
+//
+//	θ² = 24(β²L² + μ²) / (μ̃ L (5β² − 4β)(β − 3)).
+//
+// Returns +Inf when β ≤ 3 or μ̃ ≤ 0.
+func (p Problem) ThetaFromBound(beta, mu float64) float64 {
+	mt := p.MuTilde(mu)
+	if beta <= 3 || mt <= 0 {
+		return math.Inf(1)
+	}
+	t2 := 24 * (beta*beta*p.L*p.L + mu*mu) /
+		(mt * p.L * (5*beta*beta - 4*beta) * (beta - 3))
+	return math.Sqrt(t2)
+}
+
+// BetaMinSARAH solves eq. (15) — the β > 3 at which the Lemma 1 lower and
+// upper bounds on τ coincide for the given θ — by bisection. ok is false
+// if no crossing exists below betaMax.
+func (p Problem) BetaMinSARAH(theta, mu, betaMax float64) (beta float64, ok bool) {
+	mt := p.MuTilde(mu)
+	if mt <= 0 || theta <= 0 || theta > 1 {
+		return 0, false
+	}
+	// f(β) = upper(β) − lower(β); lower → +Inf as β → 3⁺ and upper grows
+	// as β², so f goes from −Inf to +Inf: bisect the first sign change.
+	f := func(b float64) float64 {
+		return TauUpperSARAH(b) - p.TauLower(b, theta, mu)
+	}
+	lo := 3.0 + 1e-9
+	hi := lo
+	for f(hi) < 0 {
+		hi *= 2
+		if hi > betaMax {
+			return 0, false
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// TauFromBetaMin returns eq. (16): the (smallest) τ at β_min, i.e. the
+// SARAH upper bound evaluated at β_min, rounded down to an integer.
+func TauFromBetaMin(betaMin float64) int {
+	return int(TauUpperSARAH(betaMin))
+}

@@ -1,0 +1,102 @@
+package theory
+
+import (
+	"math"
+)
+
+// Optimum is the solution of problem (23) at one weight factor γ.
+type Optimum struct {
+	Gamma     float64
+	Beta      float64 // optimal step-size parameter (η = 1/(βL))
+	Mu        float64 // optimal proximal penalty
+	Theta     float64 // implied local accuracy, eq. (22)
+	Tau       float64 // implied local iterations, eq. (16)
+	Fed       float64 // federated factor Θ
+	Objective float64 // (1/Θ)(1 + γτ), ∝ total training time
+	Feasible  bool
+}
+
+// Minimize23 numerically solves problem (23) for one γ:
+//
+//	minimize  (1/Θ)(1 + γ(5β²−4β)/8)  over  β > 3, μ > λ,  s.t. Θ > 0,
+//
+// with θ eliminated via eq. (22). The problem is non-convex but has only
+// two variables (Section 4.3), so a log-spaced grid search followed by
+// iterative grid refinement finds the global optimum to ~1e-6 relative
+// accuracy, deterministically.
+func (p Problem) Minimize23(gamma float64) Optimum {
+	opt := Optimum{Gamma: gamma, Objective: math.Inf(1)}
+
+	// Coarse pass: β ∈ (3, 3+10⁴], μ−λ ∈ (0, 10⁴], log-spaced.
+	const coarse = 160
+	betaLo, betaHi := 1e-3, 1e4 // offsets above 3
+	muLo, muHi := 1e-3, 1e4     // offsets above λ
+	logSpan := func(lo, hi float64, i, n int) float64 {
+		return lo * math.Pow(hi/lo, float64(i)/float64(n-1))
+	}
+	evaluate := func(beta, mu float64) {
+		if obj := p.Objective23(gamma, beta, mu); obj < opt.Objective {
+			opt.Objective = obj
+			opt.Beta = beta
+			opt.Mu = mu
+		}
+	}
+	for i := 0; i < coarse; i++ {
+		beta := 3 + logSpan(betaLo, betaHi, i, coarse)
+		for j := 0; j < coarse; j++ {
+			evaluate(beta, p.Lambda+logSpan(muLo, muHi, j, coarse))
+		}
+	}
+	if math.IsInf(opt.Objective, 1) {
+		return opt // infeasible everywhere
+	}
+
+	// Refinement: shrink a local grid around the incumbent.
+	const refine = 21
+	betaSpan, muSpan := 2.0, 2.0 // multiplicative half-width
+	for pass := 0; pass < 24; pass++ {
+		b0, m0 := opt.Beta, opt.Mu
+		for i := 0; i < refine; i++ {
+			frac := float64(i)/(refine-1)*2 - 1 // −1..1
+			beta := 3 + (b0-3)*math.Pow(betaSpan, frac)
+			for j := 0; j < refine; j++ {
+				fracJ := float64(j)/(refine-1)*2 - 1
+				mu := p.Lambda + (m0-p.Lambda)*math.Pow(muSpan, fracJ)
+				evaluate(beta, mu)
+			}
+		}
+		betaSpan = 1 + (betaSpan-1)*0.6
+		muSpan = 1 + (muSpan-1)*0.6
+	}
+
+	opt.Theta = p.ThetaFromBound(opt.Beta, opt.Mu)
+	opt.Tau = TauUpperSARAH(opt.Beta)
+	opt.Fed = p.FederatedFactor(opt.Theta, opt.Mu)
+	opt.Feasible = opt.Fed > 0 && !math.IsInf(opt.Objective, 1)
+	return opt
+}
+
+// SweepGamma solves problem (23) for each γ — the x-axis of Figure 1.
+func (p Problem) SweepGamma(gammas []float64) []Optimum {
+	out := make([]Optimum, len(gammas))
+	for i, g := range gammas {
+		out[i] = p.Minimize23(g)
+	}
+	return out
+}
+
+// LogSpace returns n log-spaced values in [lo, hi] (inclusive); the γ axis
+// of Figure 1 is log-scaled.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo * math.Pow(hi/lo, float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package theory
+
+import "math"
+
+// ThetaFromBoundSVRG is the SVRG analogue of eq. (22): the local accuracy
+// achieved when τ is set to the largest SVRG-feasible value at β (which is
+// stricter than SARAH's (5β²−4β)/8 because of the a-condition (65)).
+// Returns +Inf when no τ ≥ 1 is feasible.
+func (p Problem) ThetaFromBoundSVRG(beta, mu float64) float64 {
+	mt := p.MuTilde(mu)
+	if beta <= 3 || mt <= 0 {
+		return math.Inf(1)
+	}
+	tau := MaxTauSVRG(beta)
+	if tau < 1 {
+		return math.Inf(1)
+	}
+	t2 := 3 * (beta*beta*p.L*p.L + mu*mu) / (float64(tau) * mt * p.L * (beta - 3))
+	return math.Sqrt(t2)
+}
+
+// BetaMinSVRG returns the smallest β > 3 at which the Lemma 1 lower bound
+// fits under SVRG's feasible τ for the given (θ, μ): the SVRG counterpart
+// of eq. (15). ok is false if no crossing exists below betaMax.
+//
+// Remark 1(5): because SVRG's upper bound is stricter (a ≥ 4), the
+// returned β_min — and hence the implied τ — exceeds SARAH's.
+func (p Problem) BetaMinSVRG(theta, mu, betaMax float64) (beta float64, ok bool) {
+	mt := p.MuTilde(mu)
+	if mt <= 0 || theta <= 0 || theta > 1 {
+		return 0, false
+	}
+	f := func(b float64) float64 {
+		return float64(MaxTauSVRG(b)) - p.TauLower(b, theta, mu)
+	}
+	lo := 3.0 + 1e-9
+	hi := lo
+	for f(hi) < 0 {
+		hi *= 2
+		if hi > betaMax {
+			return 0, false
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// Schedule is a concrete, feasible (β, τ, θ) local schedule for one
+// estimator, derived from the Lemma 1 bounds.
+type Schedule struct {
+	Estimator string
+	Beta      float64
+	Tau       int
+	Theta     float64
+}
+
+// Schedules returns the minimal SARAH and SVRG schedules for a target
+// local accuracy θ and penalty μ — the quantified form of Remark 1(5)
+// ("SVRG requires a larger β_min … and thus larger τ"). Either entry may
+// be absent (ok=false) if infeasible below betaMax.
+func (p Problem) Schedules(theta, mu, betaMax float64) (sarah, svrg Schedule, sarahOK, svrgOK bool) {
+	if b, ok := p.BetaMinSARAH(theta, mu, betaMax); ok {
+		sarah = Schedule{Estimator: "SARAH", Beta: b, Tau: TauFromBetaMin(b), Theta: theta}
+		sarahOK = true
+	}
+	if b, ok := p.BetaMinSVRG(theta, mu, betaMax); ok {
+		svrg = Schedule{Estimator: "SVRG", Beta: b, Tau: MaxTauSVRG(b), Theta: theta}
+		svrgOK = true
+	}
+	return sarah, svrg, sarahOK, svrgOK
+}

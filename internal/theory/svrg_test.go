@@ -1,0 +1,107 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThetaFromBoundSVRG(t *testing.T) {
+	p := Problem{L: 1, Lambda: 0.5, SigmaBar2: 1}
+	// Feasible at large β/μ.
+	theta := p.ThetaFromBoundSVRG(400, 500)
+	if math.IsInf(theta, 1) || theta <= 0 {
+		t.Fatalf("expected finite θ, got %v", theta)
+	}
+	// Consistency: plugging θ back, the lower bound equals MaxTauSVRG.
+	tau := float64(MaxTauSVRG(400))
+	lower := p.TauLower(400, theta, 500)
+	if math.Abs(lower-tau) > 1e-6*(1+tau) {
+		t.Fatalf("θ inversion inconsistent: lower %v vs τ* %v", lower, tau)
+	}
+	// Infeasible regions → +Inf.
+	if !math.IsInf(p.ThetaFromBoundSVRG(2, 500), 1) {
+		t.Fatal("β ≤ 3 should be infeasible")
+	}
+	if !math.IsInf(p.ThetaFromBoundSVRG(400, 0.4), 1) {
+		t.Fatal("μ ≤ λ should be infeasible")
+	}
+}
+
+func TestBetaMinSVRGOrdering(t *testing.T) {
+	p := Problem{L: 1, Lambda: 0.5, SigmaBar2: 1}
+	theta, mu := 0.3, 500.0
+	bSarah, ok := p.BetaMinSARAH(theta, mu, 1e8)
+	if !ok {
+		t.Fatal("SARAH crossing missing")
+	}
+	bSvrg, ok := p.BetaMinSVRG(theta, mu, 1e8)
+	if !ok {
+		t.Fatal("SVRG crossing missing")
+	}
+	// Remark 1(5): SVRG's admissible region starts at a larger β.
+	if bSvrg <= bSarah {
+		t.Fatalf("β_min^SVRG (%v) should exceed β_min^SARAH (%v)", bSvrg, bSarah)
+	}
+	// At the crossing the lower bound fits under SVRG's τ*.
+	if p.TauLower(bSvrg*1.01, theta, mu) > float64(MaxTauSVRG(bSvrg*1.01)) {
+		t.Fatal("no feasible τ just above β_min^SVRG")
+	}
+}
+
+func TestBetaMinSVRGInfeasibleSmallMu(t *testing.T) {
+	// SVRG feasibility needs θ²·μ̃ ≳ 15L (the a-condition caps its τ bound
+	// at ≈ 0.198β while the lower bound grows like 3βL/(θ²μ̃)). Small μ
+	// must therefore be rejected at any betaMax.
+	p := Problem{L: 1, Lambda: 0.5, SigmaBar2: 1}
+	if _, ok := p.BetaMinSVRG(0.3, 2, 1e9); ok {
+		t.Fatal("θ=0.3, μ=2 should have no SVRG schedule")
+	}
+	if _, ok := p.BetaMinSVRG(0, 500, 1e9); ok {
+		t.Fatal("θ=0 should be rejected")
+	}
+	if _, ok := p.BetaMinSVRG(0.3, 0.4, 1e9); ok {
+		t.Fatal("μ ≤ λ should be rejected")
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	p := Problem{L: 1, Lambda: 0.5, SigmaBar2: 1}
+	sarah, svrg, sarahOK, svrgOK := p.Schedules(0.3, 500, 1e8)
+	if !sarahOK || !svrgOK {
+		t.Fatalf("expected both schedules, got sarah=%v svrg=%v", sarahOK, svrgOK)
+	}
+	if sarah.Estimator != "SARAH" || svrg.Estimator != "SVRG" {
+		t.Fatal("schedule labels wrong")
+	}
+	if sarah.Tau < 1 || svrg.Tau < 1 {
+		t.Fatal("schedules must have τ ≥ 1")
+	}
+	if svrg.Beta <= sarah.Beta {
+		t.Fatal("SVRG schedule should need larger β")
+	}
+	// Small μ: SARAH-only.
+	_, _, sarahOK, svrgOK = p.Schedules(0.3, 2, 1e6)
+	if !sarahOK || svrgOK {
+		t.Fatalf("small μ should be SARAH-only, got sarah=%v svrg=%v", sarahOK, svrgOK)
+	}
+}
+
+func TestMaxTauSVRGBinarySearchAgainstScan(t *testing.T) {
+	// Cross-check the O(log β) search against a brute-force scan at small β.
+	for _, beta := range []float64{4, 6, 9, 15, 30, 80} {
+		want := -1
+		for tau := int(TauUpperSARAH(beta)); tau >= 0; tau-- {
+			if float64(tau) <= TauUpperSVRG(beta, MinFeasibleA(float64(tau))) {
+				want = tau
+				break
+			}
+		}
+		if got := MaxTauSVRG(beta); got != want {
+			t.Fatalf("β=%v: binary search %d, scan %d", beta, got, want)
+		}
+	}
+	// Large β must terminate fast (regression test for the linear scan).
+	if MaxTauSVRG(1e8) <= 0 {
+		t.Fatal("huge β should have a feasible τ")
+	}
+}

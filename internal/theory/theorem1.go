@@ -1,0 +1,77 @@
+package theory
+
+import "math"
+
+// FederatedFactor returns Θ from Theorem 1:
+//
+//	Θ = (1/μ)·(1 − θ√(2(1+σ̄²)) − (2L/μ̃)√((1+θ²)(1+σ̄²))
+//	          − (2Lμ/μ̃²)(1+θ²)(1+σ̄²))
+//
+// Global convergence requires Θ > 0; the function returns the raw value so
+// callers can detect infeasibility (Θ ≤ 0). μ̃ ≤ 0 yields −Inf.
+func (p Problem) FederatedFactor(theta, mu float64) float64 {
+	mt := p.MuTilde(mu)
+	if mu <= 0 || mt <= 0 {
+		return math.Inf(-1)
+	}
+	oneSig := 1 + p.SigmaBar2
+	oneTheta := 1 + theta*theta
+	inner := 1 -
+		theta*math.Sqrt(2*oneSig) -
+		(2*p.L/mt)*math.Sqrt(oneTheta*oneSig) -
+		(2*p.L*mu/(mt*mt))*oneTheta*oneSig
+	return inner / mu
+}
+
+// GlobalRounds returns Corollary 1's round count T = ⌈Δ/(Θ·ε)⌉ needed for
+// an ε-accurate solution from an initial gap Δ = E[F̄(w̄⁰) − F̄(w̄*)].
+// Returns −1 when Θ ≤ 0 (no guarantee).
+func GlobalRounds(delta, epsilon, theta float64) int {
+	if theta <= 0 || epsilon <= 0 || delta < 0 {
+		return -1
+	}
+	return int(math.Ceil(delta / (theta * epsilon)))
+}
+
+// ThetaMax returns the largest local accuracy admitted by Remark 2(1):
+// θ < (2(1+σ̄²))^(−1/2). Larger heterogeneity forces smaller θ, hence more
+// local work.
+func (p Problem) ThetaMax() float64 {
+	return 1 / math.Sqrt(2*(1+p.SigmaBar2))
+}
+
+// TimingModel carries the per-round delay constants of Section 4.3.
+type TimingModel struct {
+	DCom float64 // communication delay per round, d_com
+	DCmp float64 // computation delay per local iteration, d_cmp
+}
+
+// Gamma returns the weight factor γ = d_cmp / d_com.
+func (t TimingModel) Gamma() float64 { return t.DCmp / t.DCom }
+
+// TrainingTime evaluates eq. (19): 𝒯 = T·(d_com + d_cmp·τ).
+func (t TimingModel) TrainingTime(rounds int, tau float64) float64 {
+	return float64(rounds) * (t.DCom + t.DCmp*tau)
+}
+
+// Objective23 evaluates the reduced objective of problem (23),
+//
+//	(1/Θ)·(1 + γ·(5β² − 4β)/8),
+//
+// with θ substituted from eq. (22), at a candidate (β, μ). It returns
+// +Inf outside the feasible region (β ≤ 3, μ̃ ≤ 0 or Θ ≤ 0), making it
+// directly usable by numeric minimizers.
+func (p Problem) Objective23(gamma, beta, mu float64) float64 {
+	if beta <= 3 {
+		return math.Inf(1)
+	}
+	theta := p.ThetaFromBound(beta, mu)
+	if math.IsInf(theta, 1) {
+		return math.Inf(1)
+	}
+	th := p.FederatedFactor(theta, mu)
+	if th <= 0 {
+		return math.Inf(1)
+	}
+	return (1 + gamma*TauUpperSARAH(beta)) / th
+}

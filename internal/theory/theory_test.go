@@ -1,0 +1,312 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperProblem uses the Fig. 1 constants: L=1, λ=0.5.
+func paperProblem(sigma2 float64) Problem {
+	return Problem{L: 1, Lambda: 0.5, SigmaBar2: sigma2}
+}
+
+func TestProblemValidate(t *testing.T) {
+	if err := paperProblem(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Problem{{L: 0, Lambda: 0}, {L: 1, Lambda: -1}, {L: 1, SigmaBar2: -2}} {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("problem %+v should be invalid", p)
+		}
+	}
+}
+
+func TestTauUpperSARAHValues(t *testing.T) {
+	// (5·4² − 4·4)/8 = (80−16)/8 = 8.
+	if got := TauUpperSARAH(4); got != 8 {
+		t.Fatalf("TauUpperSARAH(4) = %v, want 8", got)
+	}
+	// β = 5 → (125−20)/8 = 13.125.
+	if got := TauUpperSARAH(5); got != 13.125 {
+		t.Fatalf("TauUpperSARAH(5) = %v", got)
+	}
+}
+
+func TestMinFeasibleASatisfiesCondition(t *testing.T) {
+	for _, tau := range []float64{0, 1, 5, 20, 100} {
+		a := MinFeasibleA(tau)
+		lhs := a - 4
+		rhs := 4 * math.Sqrt(a*(tau+1))
+		if lhs < rhs-1e-9 {
+			t.Fatalf("tau=%v: a=%v violates a−4 ≥ 4√(a(τ+1)): %v < %v", tau, a, lhs, rhs)
+		}
+		// Minimality: slightly smaller a must violate.
+		a2 := a * 0.999
+		if a2-4 >= 4*math.Sqrt(a2*(tau+1)) {
+			t.Fatalf("tau=%v: a=%v is not minimal", tau, a)
+		}
+	}
+}
+
+func TestMaxTauSVRGStricterThanSARAH(t *testing.T) {
+	// Remark 1(5): SVRG has a stricter upper bound than SARAH, so for the
+	// same β SVRG admits fewer local iterations.
+	for _, beta := range []float64{10, 20, 50, 100} {
+		sarah := int(TauUpperSARAH(beta))
+		svrg := MaxTauSVRG(beta)
+		if svrg >= sarah {
+			t.Fatalf("β=%v: SVRG max τ %d not stricter than SARAH %d", beta, svrg, sarah)
+		}
+	}
+	// Tiny β: no feasible τ at all.
+	if MaxTauSVRG(1) != -1 {
+		t.Fatalf("MaxTauSVRG(1) = %d, want -1", MaxTauSVRG(1))
+	}
+}
+
+func TestTauLowerBehaviour(t *testing.T) {
+	p := paperProblem(1)
+	// Remark 1(2): τ = Ω(1/θ²) — halving θ quadruples the lower bound.
+	l1 := p.TauLower(10, 0.4, 1)
+	l2 := p.TauLower(10, 0.2, 1)
+	if math.Abs(l2/l1-4) > 1e-9 {
+		t.Fatalf("lower bound not ∝ 1/θ²: ratio %v", l2/l1)
+	}
+	// Remark 1(4): the lower bound is Ω(μ) — for μ ≫ βL the μ² numerator
+	// dominates the μ̃ denominator and the bound grows linearly in μ.
+	// (At moderate μ the bound can fall, since μ̃ = μ−λ grows first.)
+	if p.TauLower(10, 0.4, 1000) <= p.TauLower(10, 0.4, 100) {
+		t.Fatal("lower bound should grow with μ asymptotically")
+	}
+	ratio := p.TauLower(10, 0.4, 2000) / p.TauLower(10, 0.4, 1000)
+	if math.Abs(ratio-2) > 0.05 {
+		t.Fatalf("asymptotic growth not linear in μ: ratio %v", ratio)
+	}
+	// Preconditions: β ≤ 3 or μ̃ ≤ 0 → +Inf.
+	if !math.IsInf(p.TauLower(3, 0.4, 1), 1) {
+		t.Fatal("β=3 should be infeasible")
+	}
+	if !math.IsInf(p.TauLower(10, 0.4, 0.4), 1) {
+		t.Fatal("μ < λ should be infeasible")
+	}
+}
+
+func TestBetaMinSARAHIsCrossing(t *testing.T) {
+	p := paperProblem(1)
+	theta, mu := 0.3, 1.0
+	beta, ok := p.BetaMinSARAH(theta, mu, 1e6)
+	if !ok {
+		t.Fatal("no crossing found")
+	}
+	if beta <= 3 {
+		t.Fatalf("β_min = %v must exceed 3", beta)
+	}
+	// At the crossing, lower == upper (eq. 15).
+	lower := p.TauLower(beta, theta, mu)
+	upper := TauUpperSARAH(beta)
+	if math.Abs(lower-upper) > 1e-4*(1+upper) {
+		t.Fatalf("bounds not equal at β_min: lower %v, upper %v", lower, upper)
+	}
+	// For β slightly above β_min the range [lower, upper] is non-empty.
+	b2 := beta * 1.05
+	if p.TauLower(b2, theta, mu) > TauUpperSARAH(b2) {
+		t.Fatal("range empty just above β_min")
+	}
+	if TauFromBetaMin(beta) != int(upper) {
+		t.Fatal("TauFromBetaMin wrong")
+	}
+}
+
+func TestBetaMinInfeasibleCases(t *testing.T) {
+	p := paperProblem(1)
+	if _, ok := p.BetaMinSARAH(0.3, 0.4, 1e6); ok {
+		t.Fatal("μ ≤ λ should be infeasible")
+	}
+	if _, ok := p.BetaMinSARAH(0, 1, 1e6); ok {
+		t.Fatal("θ=0 should be infeasible")
+	}
+}
+
+func TestThetaFromBoundMatchesLemma(t *testing.T) {
+	// Substituting θ from (22) back into the lower bound should reproduce
+	// the SARAH upper bound exactly (that's how (22) is derived).
+	p := paperProblem(2)
+	beta, mu := 8.0, 1.5
+	theta := p.ThetaFromBound(beta, mu)
+	lower := p.TauLower(beta, theta, mu)
+	upper := TauUpperSARAH(beta)
+	if math.Abs(lower-upper) > 1e-9*(1+upper) {
+		t.Fatalf("θ from (22) does not equalize bounds: %v vs %v", lower, upper)
+	}
+}
+
+func TestFederatedFactorSigns(t *testing.T) {
+	p := paperProblem(1)
+	// Θ must be positive for large μ and small θ …
+	if th := p.FederatedFactor(0.01, 50); th <= 0 {
+		t.Fatalf("Θ(0.01, 50) = %v, want > 0", th)
+	}
+	// … and negative (no guarantee) for θ above the Remark 2(1) cap.
+	cap := p.ThetaMax()
+	if th := p.FederatedFactor(cap*1.5, 50); th > 0 {
+		t.Fatalf("Θ above θ-cap should be ≤ 0, got %v", th)
+	}
+	// μ ≤ λ yields −Inf.
+	if !math.IsInf(p.FederatedFactor(0.1, 0.3), -1) {
+		t.Fatal("μ ≤ λ should be −Inf")
+	}
+}
+
+func TestThetaMaxDecreasesWithHeterogeneity(t *testing.T) {
+	// Remark 2(1): larger σ̄² ⇒ smaller admissible θ.
+	if paperProblem(10).ThetaMax() >= paperProblem(0.1).ThetaMax() {
+		t.Fatal("θ-cap should shrink with σ̄²")
+	}
+	// Exact value at σ̄²=0: 1/√2.
+	if math.Abs(paperProblem(0).ThetaMax()-1/math.Sqrt2) > 1e-15 {
+		t.Fatal("θ-cap at σ̄²=0 should be 1/√2")
+	}
+}
+
+func TestGlobalRounds(t *testing.T) {
+	if GlobalRounds(10, 0.01, 2) != 500 {
+		t.Fatalf("GlobalRounds = %d, want 500", GlobalRounds(10, 0.01, 2))
+	}
+	if GlobalRounds(10, 0.01, -1) != -1 {
+		t.Fatal("Θ ≤ 0 should return -1")
+	}
+	if GlobalRounds(10, 0, 1) != -1 {
+		t.Fatal("ε = 0 should return -1")
+	}
+}
+
+func TestTimingModel(t *testing.T) {
+	tm := TimingModel{DCom: 2, DCmp: 0.5}
+	if tm.Gamma() != 0.25 {
+		t.Fatalf("gamma = %v", tm.Gamma())
+	}
+	// T(d_com + d_cmp τ) = 10·(2 + 0.5·8) = 60.
+	if tm.TrainingTime(10, 8) != 60 {
+		t.Fatalf("training time = %v", tm.TrainingTime(10, 8))
+	}
+}
+
+func TestMinimize23FeasibleAndStationary(t *testing.T) {
+	p := paperProblem(1)
+	opt := p.Minimize23(0.01)
+	if !opt.Feasible {
+		t.Fatal("paper constants should be feasible")
+	}
+	if opt.Beta <= 3 || opt.Mu <= p.Lambda || opt.Fed <= 0 {
+		t.Fatalf("optimum outside feasible region: %+v", opt)
+	}
+	// Local optimality: small perturbations should not improve.
+	for _, db := range []float64{0.99, 1.01} {
+		for _, dm := range []float64{0.99, 1.01} {
+			obj := p.Objective23(0.01, 3+(opt.Beta-3)*db, p.Lambda+(opt.Mu-p.Lambda)*dm)
+			if obj < opt.Objective*(1-1e-6) {
+				t.Fatalf("perturbation (%v,%v) improves objective: %v < %v",
+					db, dm, obj, opt.Objective)
+			}
+		}
+	}
+}
+
+func TestFig1ShapeGammaTrends(t *testing.T) {
+	// The paper's Fig. 1 observations: as γ grows, optimal β (and τ)
+	// decrease while optimal μ increases.
+	p := paperProblem(1)
+	small := p.Minimize23(1e-4)
+	large := p.Minimize23(1e-1)
+	if !small.Feasible || !large.Feasible {
+		t.Fatal("sweep endpoints infeasible")
+	}
+	if large.Beta >= small.Beta {
+		t.Fatalf("optimal β should fall with γ: β(1e-4)=%v, β(0.1)=%v", small.Beta, large.Beta)
+	}
+	if large.Tau >= small.Tau {
+		t.Fatalf("optimal τ should fall with γ: %v -> %v", small.Tau, large.Tau)
+	}
+	if large.Mu <= small.Mu {
+		t.Fatalf("optimal μ should rise with γ: μ(1e-4)=%v, μ(0.1)=%v", small.Mu, large.Mu)
+	}
+}
+
+func TestFig1ShapeSigmaTrends(t *testing.T) {
+	// "large σ̄² increases the optimal μ and β, but decreases θ and Θ."
+	gamma := 0.01
+	low := paperProblem(0.5).Minimize23(gamma)
+	high := paperProblem(4).Minimize23(gamma)
+	if !low.Feasible || !high.Feasible {
+		t.Fatal("infeasible sweep points")
+	}
+	if high.Mu <= low.Mu {
+		t.Fatalf("μ should rise with σ̄²: %v -> %v", low.Mu, high.Mu)
+	}
+	if high.Beta <= low.Beta {
+		t.Fatalf("β should rise with σ̄²: %v -> %v", low.Beta, high.Beta)
+	}
+	if high.Theta >= low.Theta {
+		t.Fatalf("θ should fall with σ̄²: %v -> %v", low.Theta, high.Theta)
+	}
+	if high.Fed >= low.Fed {
+		t.Fatalf("Θ should fall with σ̄²: %v -> %v", low.Fed, high.Fed)
+	}
+}
+
+func TestSweepGammaMonotoneObjective(t *testing.T) {
+	// Larger γ makes every feasible point more expensive, so the optimal
+	// objective must be non-decreasing in γ.
+	p := paperProblem(1)
+	gammas := LogSpace(1e-4, 1, 8)
+	opts := p.SweepGamma(gammas)
+	for i := 1; i < len(opts); i++ {
+		if !opts[i].Feasible {
+			t.Fatalf("γ=%v infeasible", opts[i].Gamma)
+		}
+		if opts[i].Objective < opts[i-1].Objective-1e-9 {
+			t.Fatalf("objective decreased along γ sweep at %d", i)
+		}
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("LogSpace = %v", xs)
+		}
+	}
+	if LogSpace(1, 2, 0) != nil {
+		t.Fatal("n=0 should be nil")
+	}
+	if one := LogSpace(5, 9, 1); len(one) != 1 || one[0] != 5 {
+		t.Fatal("n=1 should be [lo]")
+	}
+}
+
+// Property: the federated factor decreases in θ for any feasible setting —
+// weaker local solves can never help the global guarantee.
+func TestFederatedFactorMonotoneInThetaQuick(t *testing.T) {
+	p := paperProblem(1)
+	f := func(muRaw, thetaRaw uint16) bool {
+		mu := 1.0 + float64(muRaw%1000)/10
+		theta := float64(thetaRaw%500) / 1000 // 0..0.5
+		t1 := p.FederatedFactor(theta, mu)
+		t2 := p.FederatedFactor(theta+0.01, mu)
+		return t2 <= t1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMinimize23(b *testing.B) {
+	p := paperProblem(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Minimize23(0.01)
+	}
+}

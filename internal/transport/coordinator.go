@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"fedproxvr/internal/core"
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/models"
+)
+
+// clientConn is one connected worker.
+type clientConn struct {
+	id      int
+	samples int
+	conn    *countingConn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+}
+
+// Coordinator is the server side of the distributed runtime. It owns the
+// listener, the connected workers, and the global model.
+type Coordinator struct {
+	ln      net.Listener
+	clients []*clientConn
+	weights []float64
+	timeout time.Duration
+	codec   Codec
+}
+
+// SetCodec selects the wire codec for subsequent rounds (default
+// CodecFloat64). Safe to change between rounds, not during one.
+func (c *Coordinator) SetCodec(codec Codec) { c.codec = codec }
+
+// Bandwidth returns the total bytes sent to and received from all workers
+// so far.
+func (c *Coordinator) Bandwidth() (sent, received int64) {
+	for _, cc := range c.clients {
+		sent += cc.conn.BytesSent()
+		received += cc.conn.BytesReceived()
+	}
+	return sent, received
+}
+
+// NewCoordinator listens on addr (e.g. "127.0.0.1:0") and waits until
+// numClients workers have connected and said Hello. Client IDs must be
+// distinct and in [0, numClients). When workers need the bound address
+// before the handshake completes (":0" ports), bind the listener yourself
+// and use NewCoordinatorOn.
+func NewCoordinator(addr string, numClients int, timeout time.Duration) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, protocolError("listen", err)
+	}
+	return NewCoordinatorOn(ln, numClients, timeout)
+}
+
+// NewCoordinatorOn completes coordinator construction over an existing
+// listener: it blocks until numClients workers have connected and
+// handshaked, then returns. On error the listener is closed.
+func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*Coordinator, error) {
+	if numClients <= 0 {
+		ln.Close()
+		return nil, fmt.Errorf("transport: need at least one client")
+	}
+	c := &Coordinator{ln: ln, timeout: timeout}
+	seen := make(map[int]bool)
+	for len(c.clients) < numClients {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.Close()
+			return nil, protocolError("accept", err)
+		}
+		counted := newCountingConn(conn)
+		cc := &clientConn{conn: counted, enc: gob.NewEncoder(counted), dec: gob.NewDecoder(counted)}
+		var hello Hello
+		if timeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(timeout))
+		}
+		if err := cc.dec.Decode(&hello); err != nil {
+			conn.Close()
+			c.Close()
+			return nil, protocolError("hello", err)
+		}
+		conn.SetReadDeadline(time.Time{})
+		if hello.ClientID < 0 || hello.ClientID >= numClients || seen[hello.ClientID] {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("transport: bad or duplicate client id %d", hello.ClientID)
+		}
+		seen[hello.ClientID] = true
+		cc.id = hello.ClientID
+		cc.samples = hello.NumSamples
+		c.clients = append(c.clients, cc)
+	}
+	sort.Slice(c.clients, func(i, j int) bool { return c.clients[i].id < c.clients[j].id })
+	total := 0
+	for _, cc := range c.clients {
+		total += cc.samples
+	}
+	c.weights = make([]float64, numClients)
+	for i, cc := range c.clients {
+		c.weights[i] = float64(cc.samples) / float64(total)
+	}
+	return c, nil
+}
+
+// Addr returns the listener address (useful with ":0").
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Weights returns the aggregation weights D_n/D gathered from the Hellos.
+func (c *Coordinator) Weights() []float64 { return c.weights }
+
+// Round broadcasts the anchor, gathers all local models, and returns them
+// indexed by client ID.
+func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][]float64, error) {
+	a64, a32 := quantize(c.codec, anchor)
+	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local.Local}
+	locals := make([][]float64, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cc := range c.clients {
+		wg.Add(1)
+		go func(i int, cc *clientConn) {
+			defer wg.Done()
+			if c.timeout > 0 {
+				cc.conn.SetDeadline(time.Now().Add(c.timeout))
+			}
+			if err := cc.enc.Encode(&req); err != nil {
+				errs[i] = protocolError(fmt.Sprintf("send to client %d", cc.id), err)
+				return
+			}
+			var rep RoundReply
+			if err := cc.dec.Decode(&rep); err != nil {
+				errs[i] = protocolError(fmt.Sprintf("recv from client %d", cc.id), err)
+				return
+			}
+			cc.conn.SetDeadline(time.Time{})
+			if rep.Err != "" {
+				errs[i] = fmt.Errorf("transport: client %d: %s", cc.id, rep.Err)
+				return
+			}
+			if rep.Round != round {
+				errs[i] = fmt.Errorf("transport: client %d replied for round %d, want %d",
+					cc.id, rep.Round, round)
+				return
+			}
+			local := rep.LocalVec()
+			if len(local) != len(anchor) {
+				errs[i] = fmt.Errorf("transport: client %d sent %d params, want %d",
+					cc.id, len(local), len(anchor))
+				return
+			}
+			locals[i] = local
+		}(i, cc)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return locals, nil
+}
+
+// Train runs cfg.Rounds federated rounds starting from w0 and returns the
+// final global model and the metric series. If evalModel and trainSets are
+// provided, per-round loss is measured server-side (the coordinator needs
+// the data only for evaluation; training data never leaves workers in a
+// real deployment — pass nil to skip).
+func (c *Coordinator) Train(w0 []float64, cfg core.Config, evalModel models.Model, trainSets []*data.Dataset) ([]float64, *metrics.Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.EvalEvery == 0 {
+		cfg.EvalEvery = 1
+	}
+	w := mathx.Clone(w0)
+	series := &metrics.Series{Name: cfg.Name}
+	measure := func(round int) {
+		p := metrics.Point{Round: round, TestAcc: math.NaN()}
+		if evalModel != nil && trainSets != nil {
+			for i, ds := range trainSets {
+				p.TrainLoss += c.weights[i] * evalModel.Loss(w, ds, nil)
+			}
+		}
+		if cfg.Test != nil && evalModel != nil {
+			if cl, ok := evalModel.(models.Classifier); ok {
+				p.TestAcc = models.Accuracy(cl, w, cfg.Test)
+			}
+		}
+		series.Append(p)
+	}
+	measure(0)
+	for t := 1; t <= cfg.Rounds; t++ {
+		locals, err := c.Round(t, w, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		mathx.Zero(w)
+		for i, local := range locals {
+			mathx.Axpy(c.weights[i], local, w)
+		}
+		if t%cfg.EvalEvery == 0 || t == cfg.Rounds {
+			measure(t)
+		}
+	}
+	return w, series, nil
+}
+
+// Shutdown tells every worker to exit cleanly.
+func (c *Coordinator) Shutdown() {
+	req := RoundRequest{Done: true}
+	for _, cc := range c.clients {
+		_ = cc.enc.Encode(&req)
+	}
+}
+
+// Close shuts the listener and all connections.
+func (c *Coordinator) Close() error {
+	err := c.ln.Close()
+	for _, cc := range c.clients {
+		cc.conn.Close()
+	}
+	return err
+}

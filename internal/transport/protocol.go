@@ -1,0 +1,53 @@
+// Package transport turns the federated runtime into a real distributed
+// system: a Coordinator (server) drives synchronous rounds over TCP against
+// Worker processes (devices), exchanging gob-encoded messages. Devices are
+// seeded exactly like the in-process simulator's, so a distributed run
+// reproduces an in-process run bit-for-bit given the same seeds — which the
+// integration tests assert.
+package transport
+
+import (
+	"fmt"
+
+	"fedproxvr/internal/optim"
+)
+
+// Hello is the first message a worker sends after connecting.
+type Hello struct {
+	ClientID   int
+	NumSamples int
+}
+
+// RoundRequest is broadcast by the coordinator at each global iteration.
+// Done=true tells the worker to exit (other fields are then ignored).
+// Exactly one of Anchor/Anchor32 is set, per Codec; the worker must reply
+// in the same codec.
+type RoundRequest struct {
+	Round    int
+	Codec    Codec
+	Anchor   []float64
+	Anchor32 []float32
+	Local    optim.LocalConfig
+	Done     bool
+}
+
+// AnchorVec returns the anchor as float64 regardless of codec.
+func (r *RoundRequest) AnchorVec() []float64 { return dequantize(r.Anchor, r.Anchor32) }
+
+// RoundReply carries one device's local model back to the coordinator.
+type RoundReply struct {
+	ClientID  int
+	Round     int
+	Local     []float64
+	Local32   []float32
+	GradEvals int
+	Err       string // non-empty if the worker failed this round
+}
+
+// LocalVec returns the local model as float64 regardless of codec.
+func (r *RoundReply) LocalVec() []float64 { return dequantize(r.Local, r.Local32) }
+
+// protocolError annotates failures with the remote peer.
+func protocolError(who string, err error) error {
+	return fmt.Errorf("transport: %s: %w", who, err)
+}

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseVec is a top-k sparsified model update: only the k
+// largest-magnitude coordinates are kept, as (index, value) pairs. It is
+// the classic FL upload-compression scheme (Konečný et al., "Strategies
+// for Improving Communication Efficiency"); with k ≪ dim it cuts
+// per-round upload by dim/k at the cost of a biased update.
+type SparseVec struct {
+	Dim     int
+	Indices []int32
+	Values  []float64
+}
+
+// TopK sparsifies w, keeping the k largest-|w_i| coordinates (all of them
+// if k ≥ len(w)). k must be positive.
+func TopK(w []float64, k int) (*SparseVec, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("transport: TopK k must be positive, got %d", k)
+	}
+	if k > len(w) {
+		k = len(w)
+	}
+	idx := make([]int, len(w))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection via full sort is O(n log n); fine at model sizes
+	// here, and deterministic (ties broken by index).
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := abs(w[idx[a]]), abs(w[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	kept := idx[:k]
+	sort.Ints(kept)
+	sv := &SparseVec{
+		Dim:     len(w),
+		Indices: make([]int32, k),
+		Values:  make([]float64, k),
+	}
+	for i, j := range kept {
+		sv.Indices[i] = int32(j)
+		sv.Values[i] = w[j]
+	}
+	return sv, nil
+}
+
+// Dense reconstructs the full vector (zeros elsewhere).
+func (s *SparseVec) Dense() []float64 {
+	out := make([]float64, s.Dim)
+	for i, j := range s.Indices {
+		out[j] = s.Values[i]
+	}
+	return out
+}
+
+// AddTo scatter-adds scale·s into dst (len must equal Dim).
+func (s *SparseVec) AddTo(dst []float64, scale float64) error {
+	if len(dst) != s.Dim {
+		return fmt.Errorf("transport: AddTo dim %d, want %d", len(dst), s.Dim)
+	}
+	for i, j := range s.Indices {
+		dst[j] += scale * s.Values[i]
+	}
+	return nil
+}
+
+// WireSize returns the approximate encoded size in bytes (4 per index,
+// 8 per value), for bandwidth accounting comparisons.
+func (s *SparseVec) WireSize() int { return 4*len(s.Indices) + 8*len(s.Values) }
+
+// SparsifyDelta compresses an update as TopK(local − anchor): deltas
+// concentrate mass in few coordinates far better than raw models, and the
+// receiver reconstructs anchor + delta. Returns the sparse delta.
+func SparsifyDelta(local, anchor []float64, k int) (*SparseVec, error) {
+	if len(local) != len(anchor) {
+		return nil, fmt.Errorf("transport: delta length mismatch %d vs %d", len(local), len(anchor))
+	}
+	delta := make([]float64, len(local))
+	for i := range delta {
+		delta[i] = local[i] - anchor[i]
+	}
+	return TopK(delta, k)
+}
+
+// ApplyDelta reconstructs anchor + sparse delta into dst (which may alias
+// anchor).
+func ApplyDelta(dst, anchor []float64, delta *SparseVec) error {
+	if len(dst) != len(anchor) || delta.Dim != len(anchor) {
+		return fmt.Errorf("transport: ApplyDelta dimension mismatch")
+	}
+	if &dst[0] != &anchor[0] {
+		copy(dst, anchor)
+	}
+	return delta.AddTo(dst, 1)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedproxvr/internal/randx"
+)
+
+func TestTopKKeepsLargest(t *testing.T) {
+	w := []float64{0.1, -5, 0.3, 4, -0.2, 0}
+	sv, err := TopK(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := sv.Dense()
+	want := []float64{0, -5, 0, 4, 0, 0}
+	for i := range want {
+		if dense[i] != want[i] {
+			t.Fatalf("Dense = %v, want %v", dense, want)
+		}
+	}
+	if sv.WireSize() != 2*4+2*8 {
+		t.Fatalf("WireSize = %d", sv.WireSize())
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if _, err := TopK([]float64{1}, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	// k ≥ len keeps everything.
+	w := []float64{1, -2, 3}
+	sv, err := TopK(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := sv.Dense()
+	for i := range w {
+		if dense[i] != w[i] {
+			t.Fatal("k≥len should be lossless")
+		}
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	w := []float64{1, 1, 1, 1}
+	a, _ := TopK(w, 2)
+	b, _ := TopK(w, 2)
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+	// Ties resolve to the lowest indices.
+	if a.Indices[0] != 0 || a.Indices[1] != 1 {
+		t.Fatalf("tie indices = %v, want [0 1]", a.Indices)
+	}
+}
+
+func TestSparsifyAndApplyDelta(t *testing.T) {
+	rng := randx.New(1)
+	dim := 100
+	anchor := make([]float64, dim)
+	local := make([]float64, dim)
+	randx.NormalVec(rng, anchor, 0, 1)
+	copy(local, anchor)
+	// Local differs from the anchor in 5 coordinates only.
+	for _, j := range []int{3, 17, 42, 77, 99} {
+		local[j] += float64(j)
+	}
+	sv, err := SparsifyDelta(local, anchor, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, dim)
+	if err := ApplyDelta(got, anchor, sv); err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if math.Abs(got[i]-local[i]) > 1e-15 {
+			t.Fatalf("reconstruction differs at %d", i)
+		}
+	}
+	// Compression: 5 pairs vs 100 floats.
+	if sv.WireSize() >= dim*8/10 {
+		t.Fatalf("no meaningful compression: %d bytes", sv.WireSize())
+	}
+	// In-place apply (dst aliases anchor).
+	if err := ApplyDelta(anchor, anchor, sv); err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if math.Abs(anchor[i]-local[i]) > 1e-15 {
+			t.Fatal("in-place apply broken")
+		}
+	}
+}
+
+func TestSparseValidation(t *testing.T) {
+	if _, err := SparsifyDelta([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	sv, _ := TopK([]float64{1, 2}, 1)
+	if err := sv.AddTo(make([]float64, 3), 1); err == nil {
+		t.Fatal("AddTo dim mismatch should error")
+	}
+	if err := ApplyDelta(make([]float64, 3), make([]float64, 3), sv); err == nil {
+		t.Fatal("ApplyDelta dim mismatch should error")
+	}
+}
+
+// Property: TopK(w, k) is the best k-sparse L2 approximation of w —
+// no other selection of k coordinates has smaller residual.
+func TestTopKOptimalityQuick(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := randx.New(seed)
+		w := make([]float64, 12)
+		randx.NormalVec(rng, w, 0, 2)
+		k := 1 + int(kRaw%6)
+		sv, err := TopK(w, k)
+		if err != nil {
+			return false
+		}
+		dense := sv.Dense()
+		var residual float64
+		for i := range w {
+			d := w[i] - dense[i]
+			residual += d * d
+		}
+		// Residual equals the sum of squares of the dropped coordinates;
+		// optimality means dropped are the smallest |w_i|.
+		var kept float64
+		for _, v := range sv.Values {
+			kept += v * v
+		}
+		var total float64
+		for _, v := range w {
+			total += v * v
+		}
+		// kept must be the k largest squares: compare against sorted.
+		sq := make([]float64, len(w))
+		for i, v := range w {
+			sq[i] = v * v
+		}
+		// selection check: kept ≥ any alternative k-subset sum ⇔ kept =
+		// sum of k largest squares.
+		best := 0.0
+		for i := 0; i < k; i++ {
+			maxJ := 0
+			for j := range sq {
+				if sq[j] > sq[maxJ] {
+					maxJ = j
+				}
+			}
+			best += sq[maxJ]
+			sq[maxJ] = -1
+		}
+		return math.Abs(kept-best) < 1e-12 && math.Abs(residual-(total-kept)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

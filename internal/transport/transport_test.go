@@ -1,0 +1,325 @@
+package transport
+
+import (
+	"encoding/gob"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedproxvr/internal/core"
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/optim"
+	"fedproxvr/internal/randx"
+)
+
+func testPartition(devices, perDevice, dim, classes int, seed int64) *data.Partition {
+	p := &data.Partition{Clients: make([]*data.Dataset, devices)}
+	for k := 0; k < devices; k++ {
+		rng := randx.NewStream(seed, int64(k))
+		ds := data.New(dim, classes, perDevice)
+		x := make([]float64, dim)
+		for i := 0; i < perDevice; i++ {
+			c := (k + i) % classes
+			randx.NormalVec(rng, x, float64(c), 0.5)
+			ds.AppendClass(x, c)
+		}
+		p.Clients[k] = ds
+	}
+	return p
+}
+
+// launchTwoPhase binds a loopback listener, starts one worker goroutine per
+// shard against its address, completes the coordinator handshake, and
+// returns the coordinator plus a WaitGroup done when all workers exit.
+func launchTwoPhase(t *testing.T, p *data.Partition, m models.Model, seed int64) (*Coordinator, *sync.WaitGroup) {
+	t.Helper()
+	n := len(p.Clients)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			w, err := NewWorker(addr, k, p.Clients[k], m, seed)
+			if err != nil {
+				t.Errorf("worker %d: %v", k, err)
+				return
+			}
+			if err := w.Serve(); err != nil {
+				t.Errorf("worker %d serve: %v", k, err)
+			}
+		}(k)
+	}
+	c, err := NewCoordinatorOn(ln, n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &wg
+}
+
+func TestDistributedMatchesInProcessExactly(t *testing.T) {
+	p := testPartition(4, 30, 3, 3, 1)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := core.FedProxVR(optim.SARAH, 6, 1, 0.2, 5, 4, 6)
+	cfg.Seed = 42
+
+	// In-process reference.
+	r, err := core.NewRunner(m, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+	want := mathx.Clone(r.Global())
+
+	// Distributed run.
+	c, wg := launchTwoPhase(t, p, m, cfg.Seed)
+	defer c.Close()
+	w0 := make([]float64, m.Dim())
+	got, series, err := c.Train(w0, cfg, m.Clone(), p.Clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	wg.Wait()
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distributed model differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if len(series.Points) != cfg.Rounds+1 {
+		t.Fatalf("series has %d points, want %d", len(series.Points), cfg.Rounds+1)
+	}
+	last, _ := series.Last()
+	if last.TrainLoss >= series.Points[0].TrainLoss {
+		t.Fatal("distributed training did not reduce loss")
+	}
+}
+
+func TestCoordinatorWeights(t *testing.T) {
+	p := testPartition(3, 10, 2, 2, 2)
+	p.Clients[0] = p.Clients[0].Subset([]int{0, 1, 2, 3, 4}) // size 5
+	m := models.NewSoftmax(2, 2, 0)
+	c, wg := launchTwoPhase(t, p, m, 7)
+	defer c.Close()
+	w := c.Weights()
+	total := 5.0 + 10 + 10
+	if mathx.Nrm2Sq([]float64{w[0] - 5/total, w[1] - 10/total, w[2] - 10/total}) > 1e-24 {
+		t.Fatalf("weights = %v", w)
+	}
+	c.Shutdown()
+	wg.Wait()
+}
+
+func TestCoordinatorRejectsDuplicateID(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	type result struct {
+		c   *Coordinator
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		c, err := NewCoordinatorOn(ln, 2, 2*time.Second)
+		resCh <- result{c, err}
+	}()
+	ds := data.New(2, 2, 1)
+	ds.AppendClass([]float64{1, 2}, 0)
+	m := models.NewSoftmax(2, 2, 0)
+	w1, err := NewWorker(addr, 0, ds, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	w2, err := NewWorker(addr, 0, ds, m, 1) // duplicate id
+	if err == nil {
+		defer w2.Close()
+	}
+	res := <-resCh
+	if res.err == nil {
+		res.c.Close()
+		t.Fatal("coordinator should reject duplicate client id")
+	}
+	if !strings.Contains(res.err.Error(), "duplicate") && !strings.Contains(res.err.Error(), "bad") {
+		t.Fatalf("unexpected error: %v", res.err)
+	}
+}
+
+func TestWorkerCleanShutdownOnDone(t *testing.T) {
+	p := testPartition(1, 5, 2, 2, 3)
+	m := models.NewSoftmax(2, 2, 0)
+	c, wg := launchTwoPhase(t, p, m, 1)
+	defer c.Close()
+	c.Shutdown()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("workers did not exit after Done")
+	}
+}
+
+func TestTrainValidatesConfig(t *testing.T) {
+	p := testPartition(1, 5, 2, 2, 4)
+	m := models.NewSoftmax(2, 2, 0)
+	c, wg := launchTwoPhase(t, p, m, 1)
+	defer c.Close()
+	bad := core.Config{Rounds: 0, Local: optim.LocalConfig{Eta: 0.1, Tau: 1, Batch: 1}}
+	if _, _, err := c.Train(make([]float64, m.Dim()), bad, nil, nil); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	c.Shutdown()
+	wg.Wait()
+}
+
+func TestQuantizedCodecRoundTrip(t *testing.T) {
+	w := []float64{1.5, -2.25, 1e-7, 3.14159265358979}
+	f64, f32 := quantize(CodecFloat32, w)
+	if f64 != nil || len(f32) != 4 {
+		t.Fatal("float32 quantize wrong shape")
+	}
+	back := dequantize(f64, f32)
+	for i := range w {
+		rel := math.Abs(back[i]-w[i]) / (1 + math.Abs(w[i]))
+		if rel > 1e-6 {
+			t.Fatalf("quantization error %v at %d", rel, i)
+		}
+	}
+	f64, f32 = quantize(CodecFloat64, w)
+	if f32 != nil || &f64[0] != &w[0] {
+		t.Fatal("float64 codec should pass through")
+	}
+}
+
+func TestQuantizedTrainingAndBandwidth(t *testing.T) {
+	// Use a model large enough (1010 params) that vector payloads dominate
+	// gob/protocol overhead.
+	p := testPartition(3, 20, 100, 10, 5)
+	m := models.NewSoftmax(100, 10, 0)
+	cfg := core.FedProxVR(optim.SVRG, 6, 1, 0.1, 5, 4, 5)
+	cfg.Seed = 10
+
+	run := func(codec Codec) (loss float64, sent int64) {
+		c, wg := launchTwoPhase(t, p, m, cfg.Seed)
+		defer c.Close()
+		c.SetCodec(codec)
+		w0 := make([]float64, m.Dim())
+		_, series, err := c.Train(w0, cfg, m.Clone(), p.Clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Shutdown()
+		wg.Wait()
+		last, _ := series.Last()
+		s, _ := c.Bandwidth()
+		return last.TrainLoss, s
+	}
+	loss64, sent64 := run(CodecFloat64)
+	loss32, sent32 := run(CodecFloat32)
+	if math.Abs(loss64-loss32) > 0.05*(1+math.Abs(loss64)) {
+		t.Fatalf("quantized training diverged: %v vs %v", loss32, loss64)
+	}
+	if sent32 >= sent64 {
+		t.Fatalf("float32 codec did not reduce bandwidth: %d vs %d bytes", sent32, sent64)
+	}
+	if float64(sent32) > 0.75*float64(sent64) {
+		t.Fatalf("float32 codec saved too little: %d vs %d bytes", sent32, sent64)
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	p := testPartition(2, 10, 3, 2, 6)
+	m := models.NewSoftmax(3, 2, 0)
+	c, wg := launchTwoPhase(t, p, m, 1)
+	defer c.Close()
+	sent0, recv0 := c.Bandwidth()
+	if recv0 == 0 {
+		t.Fatal("hello messages should already count")
+	}
+	cfg := core.FedAvg(5, 1, 2, 2, 1)
+	cfg.Seed = 2
+	if _, _, err := c.Train(make([]float64, m.Dim()), cfg, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	sent1, recv1 := c.Bandwidth()
+	if sent1 <= sent0 || recv1 <= recv0 {
+		t.Fatal("round traffic not accounted")
+	}
+	c.Shutdown()
+	wg.Wait()
+}
+
+func TestCoordinatorSurfacesDeadWorker(t *testing.T) {
+	p := testPartition(2, 10, 3, 2, 7)
+	m := models.NewSoftmax(3, 2, 0)
+	c, wg := launchTwoPhase(t, p, m, 1)
+	defer c.Close()
+	// One healthy round first.
+	cfg := core.FedAvg(5, 1, 2, 2, 1)
+	cfg.Seed = 3
+	w0 := make([]float64, m.Dim())
+	if _, _, err := c.Train(w0, cfg, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill worker 0's connection from the server side, then try a round:
+	// the coordinator must surface an error rather than hang.
+	c.clients[0].conn.Close()
+	if _, err := c.Round(99, w0, cfg); err == nil {
+		t.Fatal("round against a dead worker should error")
+	}
+	c.Shutdown()
+	wg.Wait()
+}
+
+func TestRoundTimeoutFires(t *testing.T) {
+	// A coordinator whose "worker" never replies: Round must time out.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Handshake like a worker, then go silent.
+		enc := gob.NewEncoder(conn)
+		_ = enc.Encode(&Hello{ClientID: 0, NumSamples: 5})
+		<-done2
+	}()
+	c, err := NewCoordinatorOn(ln, 1, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg := core.FedAvg(5, 1, 1, 1, 1)
+	start := time.Now()
+	_, err = c.Round(1, make([]float64, 4), cfg)
+	if err == nil {
+		t.Fatal("silent worker should time the round out")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+	close(done2)
+	<-done
+}
+
+var done2 = make(chan struct{})

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+
+	"fedproxvr/internal/core"
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/models"
+)
+
+// Worker is the device side of the distributed runtime: it connects to a
+// coordinator, announces its shard size, and serves rounds until told to
+// stop. Its RNG stream derivation matches core.NewDevice, so a distributed
+// run is bit-identical to the in-process simulator with the same seed.
+type Worker struct {
+	id     int
+	device *core.Device
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+}
+
+// NewWorker connects to addr and performs the Hello handshake.
+func NewWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64) (*Worker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, protocolError("dial", err)
+	}
+	w := &Worker{
+		id:     id,
+		device: core.NewDevice(id, shard, m, seed),
+		conn:   conn,
+		enc:    gob.NewEncoder(conn),
+		dec:    gob.NewDecoder(conn),
+	}
+	if err := w.enc.Encode(&Hello{ClientID: id, NumSamples: shard.N()}); err != nil {
+		conn.Close()
+		return nil, protocolError("hello", err)
+	}
+	return w, nil
+}
+
+// Serve processes round requests until the coordinator sends Done or the
+// connection closes. A clean shutdown (Done or EOF) returns nil.
+func (w *Worker) Serve() error {
+	defer w.conn.Close()
+	for {
+		var req RoundRequest
+		if err := w.dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return protocolError("recv", err)
+		}
+		if req.Done {
+			return nil
+		}
+		rep := RoundReply{ClientID: w.id, Round: req.Round}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					rep.Err = toErrString(r)
+				}
+			}()
+			local := w.device.RunRound(req.AnchorVec(), req.Local)
+			rep.Local, rep.Local32 = quantize(req.Codec, local)
+		}()
+		if err := w.enc.Encode(&rep); err != nil {
+			return protocolError("send", err)
+		}
+	}
+}
+
+func toErrString(r interface{}) string {
+	if err, ok := r.(error); ok {
+		return err.Error()
+	}
+	if s, ok := r.(string); ok {
+		return s
+	}
+	return "worker panic"
+}
+
+// Close terminates the connection (Serve will then return).
+func (w *Worker) Close() error { return w.conn.Close() }
