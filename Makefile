@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector — the parallel executor
+# and the TCP coordinator are the packages that exercise real concurrency.
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the race-enabled suite.
+check: vet race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -25,18 +25,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7070", "listen address")
-		devices = flag.Int("devices", 3, "number of workers to wait for")
-		dataset = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
-		samples = flag.Int("samples", 120, "image samples per class (image datasets)")
-		alg     = flag.String("alg", "sarah", "fedavg | fedprox | svrg | sarah")
-		beta    = flag.Float64("beta", 5, "step-size parameter β")
-		tau     = flag.Int("tau", 20, "local iterations τ")
-		mu      = flag.Float64("mu", 0.1, "proximal penalty μ")
-		batch   = flag.Int("batch", 16, "mini-batch size B")
-		rounds  = flag.Int("rounds", 50, "global iterations T")
-		seed    = flag.Int64("seed", 2020, "shared experiment seed")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-message network timeout")
+		addr     = flag.String("addr", ":7070", "listen address")
+		devices  = flag.Int("devices", 3, "number of workers to wait for")
+		dataset  = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
+		samples  = flag.Int("samples", 120, "image samples per class (image datasets)")
+		alg      = flag.String("alg", "sarah", "fedavg | fedprox | svrg | sarah")
+		beta     = flag.Float64("beta", 5, "step-size parameter β")
+		tau      = flag.Int("tau", 20, "local iterations τ")
+		mu       = flag.Float64("mu", 0.1, "proximal penalty μ")
+		batch    = flag.Int("batch", 16, "mini-batch size B")
+		rounds   = flag.Int("rounds", 50, "global iterations T")
+		fraction = flag.Float64("fraction", 1, "fraction of workers contacted per round")
+		dropout  = flag.Float64("dropout", 0, "per-round simulated report-failure probability")
+		seed     = flag.Int64("seed", 2020, "shared experiment seed")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message network timeout")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Test = task.Test
+	cfg.ClientFraction = *fraction
+	cfg.DropoutProb = *dropout
 
 	fmt.Printf("fedserver: waiting for %d workers on %s …\n", *devices, *addr)
 	coord, err := transport.NewCoordinator(*addr, *devices, *timeout)

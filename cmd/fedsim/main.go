@@ -6,15 +6,22 @@
 //	fedsim -dataset synthetic -alg sarah -beta 5 -tau 20 -mu 0.1 -rounds 100
 //	fedsim -dataset fashion -alg fedavg -beta 10 -tau 10 -batch 16 -csv out.csv
 //	fedsim -dataset digits -model cnn -alg svrg -beta 7 -tau 20 -batch 64
+//	fedsim -rounds 500 -checkpoint run.ckpt            # Ctrl-C safe, resumable
+//	fedsim -secure -alg sarah -rounds 100              # masked aggregation
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	fedproxvr "fedproxvr"
+	"fedproxvr/internal/checkpoint"
 	"fedproxvr/internal/clisetup"
+	"fedproxvr/internal/metrics"
 )
 
 func main() {
@@ -34,6 +41,11 @@ func main() {
 		parallel  = flag.Bool("parallel", true, "run devices on all cores")
 		evalEvery = flag.Int("eval-every", 1, "evaluate metrics every k rounds")
 		station   = flag.Bool("stationarity", false, "track ‖∇F̄‖² (extra full pass per eval)")
+		fraction  = flag.Float64("fraction", 1, "fraction of devices sampled per round")
+		dropout   = flag.Float64("dropout", 0, "per-round device failure probability")
+		secure    = flag.Bool("secure", false, "aggregate through pairwise additive masking")
+		ckptPath  = flag.String("checkpoint", "", "snapshot path; resumes if it exists")
+		ckptEvery = flag.Int("checkpoint-every", 5, "snapshot every k rounds")
 		csvPath   = flag.String("csv", "", "write series CSV to this path (default stdout)")
 	)
 	flag.Parse()
@@ -50,10 +62,34 @@ func main() {
 	cfg.Parallel = *parallel
 	cfg.EvalEvery = *evalEvery
 	cfg.TrackStationarity = *station
+	cfg.ClientFraction = *fraction
+	cfg.DropoutProb = *dropout
+	cfg.SecureAgg = *secure
 
-	series, _, err := fedproxvr.Train(task, cfg)
-	if err != nil {
-		fatal(err)
+	// Ctrl-C cancels between rounds; with -checkpoint the run is resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var series *metrics.Series
+	if *ckptPath != "" {
+		r, err := fedproxvr.NewRunner(task, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		series, err = checkpoint.TrainContext(ctx, r, *ckptPath, *ckptEvery)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: interrupted; resume with -checkpoint %s\n", *ckptPath)
+		}
+	} else {
+		var err error
+		series, _, err = fedproxvr.TrainContext(ctx, task, cfg)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		} else if err != nil {
+			fmt.Fprintln(os.Stderr, "fedsim: interrupted; emitting partial series")
+		}
 	}
 
 	out := os.Stdout
@@ -70,7 +106,7 @@ func main() {
 	}
 	last, _ := series.Last()
 	fmt.Fprintf(os.Stderr, "%s: final loss %.4f, test acc %.2f%% after %d rounds\n",
-		cfg.Name, last.TrainLoss, last.TestAcc*100, *rounds)
+		cfg.Name, last.TrainLoss, last.TestAcc*100, last.Round)
 }
 
 func fatal(err error) {

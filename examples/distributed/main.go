@@ -1,7 +1,9 @@
 // Distributed example: the TCP runtime end-to-end in a single process —
 // a coordinator and four workers on loopback, exactly the topology of
 // cmd/fedserver + cmd/fedclient, then a bit-for-bit comparison against the
-// in-process simulator.
+// in-process simulator. Both runs drive the same internal/engine outer
+// loop — only the Executor differs (TCP wire rounds vs in-process solves) —
+// which is why the models match exactly.
 package main
 
 import (

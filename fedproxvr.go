@@ -26,6 +26,7 @@
 package fedproxvr
 
 import (
+	"context"
 	"fmt"
 
 	"fedproxvr/internal/core"
@@ -94,25 +95,49 @@ type Task struct {
 	InitW []float64
 }
 
-// Train runs one federated training configuration on a task and returns
-// the metric series and the final global model.
-func Train(task Task, cfg Config) (*Series, []float64, error) {
+// Runner drives a prepared federated run; it exposes the engine for hooks
+// and checkpointing (see internal/checkpoint).
+type Runner = core.Runner
+
+// NewRunner prepares a federated run on a task: the task's test set is
+// used unless cfg overrides it, and the task's initialization (if any) is
+// applied to the global model.
+func NewRunner(task Task, cfg Config) (*Runner, error) {
 	if task.Model == nil || task.Part == nil {
-		return nil, nil, fmt.Errorf("fedproxvr: task needs Model and Part")
+		return nil, fmt.Errorf("fedproxvr: task needs Model and Part")
 	}
 	if cfg.Test == nil {
 		cfg.Test = task.Test
 	}
 	r, err := core.NewRunner(task.Model, task.Part, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if task.InitW != nil {
 		r.SetGlobal(task.InitW)
 	}
-	series := r.Run()
+	return r, nil
+}
+
+// Train runs one federated training configuration on a task and returns
+// the metric series and the final global model.
+func Train(task Task, cfg Config) (*Series, []float64, error) {
+	return TrainContext(context.Background(), task, cfg)
+}
+
+// TrainContext is Train with cancellation: the run stops between rounds
+// when ctx is done and returns the series so far alongside ctx.Err().
+func TrainContext(ctx context.Context, task Task, cfg Config) (*Series, []float64, error) {
+	r, err := NewRunner(task, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	series, err := r.RunContext(ctx)
 	w := make([]float64, task.Model.Dim())
 	copy(w, r.Global())
+	if err != nil {
+		return series, w, err
+	}
 	return series, w, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/models"
 	"fedproxvr/internal/optim"
@@ -44,7 +45,13 @@ type Config struct {
 	// EvalEvery measures the global objective every k applied updates
 	// (default: Updates/50, at least 1).
 	EvalEvery int
-	Seed      int64
+	// DropoutProb is the probability that a finished device computation is
+	// lost before reaching the server (battery, network loss); the device
+	// just pulls a fresh anchor and retries. Failure draws come from the
+	// same server-stream primitive as the synchronous engine
+	// (engine.Dropped). 0 disables failure injection.
+	DropoutProb float64
+	Seed        int64
 }
 
 // Validate reports configuration errors.
@@ -61,6 +68,9 @@ func (c Config) Validate() error {
 	if c.StalenessPower < 0 {
 		return fmt.Errorf("async: StalenessPower must be ≥ 0, got %v", c.StalenessPower)
 	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("async: DropoutProb must be in [0,1), got %v", c.DropoutProb)
+	}
 	return nil
 }
 
@@ -75,12 +85,13 @@ type pending struct {
 // Runner drives the asynchronous event loop.
 type Runner struct {
 	cfg     Config
-	model   models.Model // server-side evaluation clone
+	eval    *engine.Evaluator // server-side measurement (shared with sync)
 	part    *data.Partition
 	fleet   *simnet.Fleet
 	solvers []*optim.Solver
 	rngs    []*rand.Rand
 	weights []float64
+	server  *rand.Rand // failure-injection stream
 
 	w       []float64
 	version int
@@ -111,12 +122,13 @@ func NewRunner(m models.Model, part *data.Partition, fleet *simnet.Fleet, cfg Co
 	}
 	r := &Runner{
 		cfg:     cfg,
-		model:   m.Clone(),
 		part:    part,
 		fleet:   fleet,
 		weights: part.Weights(),
+		server:  randx.NewStream(cfg.Seed, 1),
 		w:       make([]float64, m.Dim()),
 	}
+	r.eval = &engine.Evaluator{Model: m.Clone(), Clients: part.Clients, Weights: r.weights}
 	r.solvers = make([]*optim.Solver, len(part.Clients))
 	r.rngs = make([]*rand.Rand, len(part.Clients))
 	for i := range part.Clients {
@@ -184,6 +196,12 @@ func (r *Runner) Run() (*simnet.TimedSeries, error) {
 	for r.version < r.cfg.Updates {
 		p := r.popEarliest()
 		r.now = p.finishAt
+		if engine.Dropped(r.server, r.cfg.DropoutProb) {
+			// The report was lost in flight: discard it and let the device
+			// pull a fresh anchor.
+			r.dispatch(p.device)
+			continue
+		}
 		staleness := r.version - p.pulledVer
 		alpha := r.cfg.Alpha0 * math.Pow(1+float64(staleness), -r.cfg.StalenessPower)
 		// Weight by device data share relative to the mean share so the
@@ -205,10 +223,4 @@ func (r *Runner) Run() (*simnet.TimedSeries, error) {
 }
 
 // globalLoss evaluates F̄(w̄) over all device shards.
-func (r *Runner) globalLoss() float64 {
-	var loss float64
-	for i, shard := range r.part.Clients {
-		loss += r.weights[i] * r.model.Loss(r.w, shard, nil)
-	}
-	return loss
-}
+func (r *Runner) globalLoss() float64 { return r.eval.Loss(r.w) }

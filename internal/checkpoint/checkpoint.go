@@ -9,6 +9,7 @@
 package checkpoint
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"path/filepath"
 
 	"fedproxvr/internal/core"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
 )
 
@@ -87,12 +89,20 @@ func Load(path string) (*State, error) {
 // model is restored and only the remaining rounds execute. It returns the
 // full metric series (restored prefix + new points).
 func Train(r *core.Runner, path string, every int) (*metrics.Series, error) {
+	return TrainContext(context.Background(), r, path, every)
+}
+
+// TrainContext is Train with cancellation: it snapshots through the
+// engine's per-round hook, so a run interrupted by ctx (or by a crash
+// after the last snapshot) resumes from path on the next call. On
+// cancellation it returns the series so far alongside ctx.Err().
+func TrainContext(ctx context.Context, r *core.Runner, path string, every int) (*metrics.Series, error) {
 	cfg := r.Config()
 	if every < 1 {
 		every = 1
 	}
-	start := 0
-	series := &metrics.Series{Name: cfg.Name}
+	eng := r.Engine()
+	var prefix []metrics.Point
 
 	if st, err := Load(path); err == nil {
 		if st.Name != cfg.Name {
@@ -102,34 +112,33 @@ func Train(r *core.Runner, path string, every int) (*metrics.Series, error) {
 			return nil, fmt.Errorf("checkpoint: model dim %d, want %d", len(st.Global), len(r.Global()))
 		}
 		r.SetGlobal(st.Global)
-		start = st.Round
-		series.Points = append(series.Points, st.Points...)
+		eng.SetRound(st.Round)
+		prefix = st.Points
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 
-	save := func(round int) error {
+	unhook := eng.OnRound(func(info engine.RoundInfo) error {
+		if info.Round%every != 0 && info.Round != cfg.Rounds {
+			return nil
+		}
+		points := make([]metrics.Point, 0, len(prefix)+len(info.Series.Points))
+		points = append(append(points, prefix...), info.Series.Points...)
 		return Save(path, &State{
 			Name:   cfg.Name,
-			Round:  round,
+			Round:  info.Round,
 			Seed:   cfg.Seed,
-			Global: append([]float64(nil), r.Global()...),
-			Points: series.Points,
+			Global: append([]float64(nil), info.Global...),
+			Points: points,
 		})
+	})
+	defer unhook()
+
+	series, err := eng.Run(ctx)
+	full := &metrics.Series{Name: cfg.Name}
+	full.Points = append(append(full.Points, prefix...), series.Points...)
+	if err != nil {
+		return full, err
 	}
-	if start == 0 {
-		series.Append(metrics.Point{Round: 0, TrainLoss: r.GlobalLoss()})
-	}
-	for t := start + 1; t <= cfg.Rounds; t++ {
-		r.Step()
-		if t%cfg.EvalEvery == 0 || t == cfg.Rounds {
-			series.Append(metrics.Point{Round: t, TrainLoss: r.GlobalLoss()})
-		}
-		if t%every == 0 || t == cfg.Rounds {
-			if err := save(t); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return series, nil
+	return full, nil
 }

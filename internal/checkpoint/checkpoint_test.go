@@ -1,12 +1,14 @@
 package checkpoint
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/models"
 	"fedproxvr/internal/optim"
@@ -138,6 +140,52 @@ func TestTrainResumesFromCheckpoint(t *testing.T) {
 	// Series includes phase-1 history.
 	if series.Points[0].Round != 0 {
 		t.Fatal("restored series lost its prefix")
+	}
+}
+
+func TestTrainContextCancelThenResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	// Cancel after round 4; snapshots land every 2 rounds.
+	r1, _, _ := fixture(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	r1.Engine().OnRound(func(info engine.RoundInfo) error {
+		if info.Round == 4 {
+			cancel()
+		}
+		return nil
+	})
+	series, err := TrainContext(ctx, r1, path, 2)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if last, _ := series.Last(); last.Round != 4 {
+		t.Fatalf("cancelled series ends at %d, want 4", last.Round)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 4 {
+		t.Fatalf("snapshot at round %d, want 4", st.Round)
+	}
+
+	// A fresh process resumes from the snapshot and completes the run.
+	r2, _, _ := fixture(t, 10)
+	full, err := TrainContext(context.Background(), r2, path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := full.Last()
+	if last.Round != 10 {
+		t.Fatalf("resumed run ends at %d, want 10", last.Round)
+	}
+	if full.Points[0].Round != 0 {
+		t.Fatal("resumed series lost its prefix")
+	}
+	if last.TrainLoss >= full.Points[0].TrainLoss {
+		t.Fatal("no progress across cancel/resume")
 	}
 }
 

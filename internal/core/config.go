@@ -1,91 +1,23 @@
-// Package core implements the federated-learning runtime of the paper:
-// FedProxVR (Algorithm 1) with SVRG or SARAH local estimators, and the
-// SGD-based FedAvg and FedProx baselines it is evaluated against. A Runner
-// executes synchronous global rounds — broadcast the global model, solve
-// every device's proximal surrogate locally (optionally in parallel
-// goroutines), aggregate by data-size weights — and records the per-round
-// metrics the paper's figures plot.
+// Package core is the in-process runtime of the paper: FedProxVR
+// (Algorithm 1) with SVRG or SARAH local estimators, and the SGD-based
+// FedAvg and FedProx baselines it is evaluated against. The outer loop
+// itself — selection, dropout, aggregation, measurement — lives in
+// internal/engine; core contributes the in-process device fleet, the
+// named experiment configurations derived from the paper's theory, and a
+// Runner facade over the engine.
 package core
 
 import (
 	"fmt"
 
-	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/optim"
 	"fedproxvr/internal/theory"
 )
 
-// Config describes one federated training run.
-type Config struct {
-	// Name labels the output series (e.g. "FedProxVR (SARAH)").
-	Name string
-	// Local is the device-side inner-loop configuration (estimator, η, τ,
-	// batch, μ).
-	Local optim.LocalConfig
-	// Rounds is the number of global iterations T.
-	Rounds int
-	// EvalEvery computes metrics every k rounds (default 1). Metrics are
-	// also always computed at the final round.
-	EvalEvery int
-	// Test, if non-nil, is the held-out set used for accuracy.
-	Test *data.Dataset
-	// TrackStationarity adds ‖∇F̄(w̄)‖² (one full-data gradient pass per
-	// evaluation) to the series — the paper's convergence indicator (12).
-	TrackStationarity bool
-	// Parallel fans the devices of each round out to GOMAXPROCS workers.
-	// Results are identical to the sequential schedule because every device
-	// owns an independent RNG stream.
-	Parallel bool
-	// ClientFraction samples this fraction of devices per round (default 1,
-	// as in the paper, where all devices participate).
-	ClientFraction float64
-	// DropoutProb is the probability that a participating device fails to
-	// report its round (battery, network loss). The server aggregates over
-	// the survivors, reweighting by their data sizes; if every device
-	// drops, the global model is unchanged that round. 0 disables failure
-	// injection.
-	DropoutProb float64
-	// DPClip, when positive, clips every device's round update
-	// Δ_n = w_n − w̄ to at most this L2 norm before aggregation — the
-	// update-norm bounding step of DP-FedAvg. 0 disables clipping.
-	DPClip float64
-	// DPNoise, when positive, adds iid N(0, (DPNoise·DPClip)²) noise to
-	// every coordinate of the aggregated update (requires DPClip > 0).
-	// This is the mechanism of DP-FedAvg without a formal (ε, δ)
-	// accountant; see the privacy note in DESIGN.md.
-	DPNoise float64
-	// Seed drives every random choice in the run.
-	Seed int64
-}
-
-// Validate reports configuration errors.
-func (c Config) Validate() error {
-	if err := c.Local.Validate(); err != nil {
-		return err
-	}
-	if c.Rounds < 1 {
-		return fmt.Errorf("core: Rounds must be ≥ 1, got %d", c.Rounds)
-	}
-	if c.EvalEvery < 0 {
-		return fmt.Errorf("core: EvalEvery must be ≥ 0, got %d", c.EvalEvery)
-	}
-	if c.ClientFraction < 0 || c.ClientFraction > 1 {
-		return fmt.Errorf("core: ClientFraction must be in [0,1], got %v", c.ClientFraction)
-	}
-	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
-		return fmt.Errorf("core: DropoutProb must be in [0,1), got %v", c.DropoutProb)
-	}
-	if c.DPClip < 0 {
-		return fmt.Errorf("core: DPClip must be non-negative, got %v", c.DPClip)
-	}
-	if c.DPNoise < 0 {
-		return fmt.Errorf("core: DPNoise must be non-negative, got %v", c.DPNoise)
-	}
-	if c.DPNoise > 0 && c.DPClip == 0 {
-		return fmt.Errorf("core: DPNoise requires DPClip > 0 (noise scales with the clip bound)")
-	}
-	return nil
-}
+// Config describes one federated training run. It is the engine's config;
+// the alias keeps the historical core API intact.
+type Config = engine.Config
 
 // StepSize returns η = 1/(βL) — the paper's parametrized step size.
 func StepSize(beta, l float64) float64 {

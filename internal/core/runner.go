@@ -1,97 +1,65 @@
 package core
 
 import (
-	"math"
+	"context"
 	"math/rand"
-	"sync"
 
 	"fedproxvr/internal/data"
-	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/models"
-	"fedproxvr/internal/optim"
 	"fedproxvr/internal/randx"
-	"fedproxvr/internal/tensor"
 )
 
-// Device is one simulated user device: its data shard, its solver (with a
-// private clone of the model for goroutine safety), and its private RNG
-// stream (which makes parallel and sequential schedules bit-identical).
-type Device struct {
-	ID     int
-	Shard  *data.Dataset
-	Solver *optim.Solver
-	RNG    *rand.Rand
-
-	local     []float64 // last reported local model w_n^(s)
-	gradEvals int64
-}
+// Device is one simulated user device. It lives in internal/engine; the
+// alias keeps the historical core API (and the transport worker's device
+// construction) intact.
+type Device = engine.Device
 
 // NewDevice builds a device around a private model clone.
 func NewDevice(id int, shard *data.Dataset, m models.Model, seed int64) *Device {
-	return &Device{
-		ID:     id,
-		Shard:  shard,
-		Solver: optim.NewSolver(m.Clone()),
-		RNG:    randx.NewStream(seed, int64(id)+101),
-		local:  make([]float64, m.Dim()),
-	}
+	return engine.NewDevice(id, shard, m, seed)
 }
 
-// RunRound executes the device's inner loop from the given anchor and
-// returns its reported local model (valid until the next RunRound).
-func (d *Device) RunRound(anchor []float64, cfg optim.LocalConfig) []float64 {
-	n := d.Solver.Solve(d.Shard, anchor, d.local, cfg, d.RNG)
-	d.gradEvals += int64(n)
-	return d.local
-}
-
-// GradEvals returns the cumulative gradient evaluations of this device.
-func (d *Device) GradEvals() int64 { return d.gradEvals }
-
-// Runner drives a full federated training run.
+// Runner drives a full federated training run in-process: an engine over
+// a sequential or pooled-parallel executor, plus the paper's diagnostic
+// measurements (global loss, stationarity gap, local accuracy θ̂).
 type Runner struct {
-	cfg     Config
-	model   models.Model // server-side evaluation model
-	part    *data.Partition
+	eng     *engine.Engine
+	eval    *engine.Evaluator
 	devices []*Device
-	weights []float64
-	server  *rand.Rand
 
-	w       []float64 // global model w̄
-	scratch []float64
-	grads   []float64
+	diag    []float64  // scratch local model for LocalAccuracy
+	diagRNG *rand.Rand // dedicated stream: diagnostics never touch device RNGs
 }
 
 // NewRunner validates cfg and builds the devices.
 func NewRunner(m models.Model, part *data.Partition, cfg Config) (*Runner, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if len(part.Clients) == 0 {
 		return nil, errNoClients
 	}
-	if cfg.EvalEvery == 0 {
-		cfg.EvalEvery = 1
-	}
-	if cfg.ClientFraction == 0 {
-		cfg.ClientFraction = 1
-	}
-	r := &Runner{
-		cfg:     cfg,
-		model:   m.Clone(),
-		part:    part,
-		weights: part.Weights(),
-		server:  randx.NewStream(cfg.Seed, 1),
-		w:       make([]float64, m.Dim()),
-		scratch: make([]float64, m.Dim()),
-		grads:   make([]float64, m.Dim()),
-	}
-	r.devices = make([]*Device, len(part.Clients))
+	devices := make([]*Device, len(part.Clients))
 	for i, shard := range part.Clients {
-		r.devices[i] = NewDevice(i, shard, m, cfg.Seed)
+		devices[i] = NewDevice(i, shard, m, cfg.Seed)
 	}
-	return r, nil
+	var exec engine.Executor
+	if cfg.Parallel {
+		exec = engine.NewParallel(devices, cfg.Local, 0)
+	} else {
+		exec = engine.NewSequential(devices, cfg.Local)
+	}
+	eng, err := engine.New(cfg, m.Dim(), part.Weights(), exec)
+	if err != nil {
+		return nil, err
+	}
+	eval := &engine.Evaluator{
+		Model:   m.Clone(),
+		Clients: part.Clients,
+		Weights: part.Weights(),
+		Test:    cfg.Test,
+	}
+	eng.SetEvaluator(eval)
+	return &Runner{eng: eng, eval: eval, devices: devices}, nil
 }
 
 type coreError string
@@ -100,179 +68,84 @@ func (e coreError) Error() string { return string(e) }
 
 const errNoClients = coreError("core: partition has no clients")
 
+// Engine exposes the underlying engine (for hooks, checkpoint resume, or
+// swapping the executor in decorator runtimes like internal/simnet).
+func (r *Runner) Engine() *engine.Engine { return r.eng }
+
 // Devices exposes the simulated devices (read-only use).
 func (r *Runner) Devices() []*Device { return r.devices }
 
 // Config returns the run configuration (with defaults applied).
-func (r *Runner) Config() Config { return r.cfg }
+func (r *Runner) Config() Config { return r.eng.Config() }
 
 // Global returns the current global model (aliased; copy before mutating).
-func (r *Runner) Global() []float64 { return r.w }
+func (r *Runner) Global() []float64 { return r.eng.Global() }
 
 // SetGlobal initializes the global model (e.g. from models.NNModel
 // InitParams); default is the zero vector.
-func (r *Runner) SetGlobal(w []float64) { copy(r.w, w) }
+func (r *Runner) SetGlobal(w []float64) { r.eng.SetGlobal(w) }
 
 // Step performs one global iteration of Algorithm 1: broadcast, local
 // solve on the selected devices, weighted aggregation. It returns the list
 // of participating device IDs (after failure injection). If every device
 // drops out, the global model is left unchanged.
 func (r *Runner) Step() []int {
-	selected := r.selectDevices()
-	if r.cfg.DropoutProb > 0 {
-		survivors := selected[:0]
-		for _, id := range selected {
-			if r.server.Float64() >= r.cfg.DropoutProb {
-				survivors = append(survivors, id)
-			}
-		}
-		selected = survivors
-		if len(selected) == 0 {
-			return selected
-		}
+	selected, err := r.eng.Step()
+	if err != nil {
+		// In-process executors cannot fail and partitions carry positive
+		// weights, so this is unreachable outside programmer error.
+		panic(err)
 	}
-	locals := make([][]float64, len(selected))
-	if r.cfg.Parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, maxParallel())
-		for i, id := range selected {
-			wg.Add(1)
-			go func(i, id int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				locals[i] = r.devices[id].RunRound(r.w, r.cfg.Local)
-				<-sem
-			}(i, id)
-		}
-		wg.Wait()
-	} else {
-		for i, id := range selected {
-			locals[i] = r.devices[id].RunRound(r.w, r.cfg.Local)
-		}
-	}
-	// Aggregate: w̄ = Σ (D_n / Σ_selected D_n) w_n. With full participation
-	// this is exactly line 12 of Algorithm 1.
-	var wsum float64
-	for _, id := range selected {
-		wsum += r.weights[id]
-	}
-	if r.cfg.DPClip > 0 {
-		// DP path: clip each device's update Δ_n = w_n − w̄ to the clip
-		// bound, aggregate the clipped deltas, then add Gaussian noise
-		// scaled by the clip bound.
-		mathx.Zero(r.scratch)
-		for i, id := range selected {
-			delta := locals[i] // reuse the device buffer as Δ_n
-			mathx.Sub(delta, delta, r.w)
-			if n := mathx.Nrm2(delta); n > r.cfg.DPClip {
-				mathx.Scal(r.cfg.DPClip/n, delta)
-			}
-			mathx.Axpy(r.weights[id]/wsum, delta, r.scratch)
-		}
-		if r.cfg.DPNoise > 0 {
-			std := r.cfg.DPNoise * r.cfg.DPClip
-			for i := range r.scratch {
-				r.scratch[i] += std * r.server.NormFloat64()
-			}
-		}
-		mathx.Axpy(1, r.scratch, r.w)
-		return selected
-	}
-	mathx.Zero(r.scratch)
-	for i, id := range selected {
-		mathx.Axpy(r.weights[id]/wsum, locals[i], r.scratch)
-	}
-	copy(r.w, r.scratch)
 	return selected
-}
-
-func maxParallel() int {
-	n := tensor.MaxWorkers()
-	if n < 1 {
-		return 1
-	}
-	return n
-}
-
-func (r *Runner) selectDevices() []int {
-	n := len(r.devices)
-	if r.cfg.ClientFraction >= 1 {
-		all := make([]int, n)
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
-	k := int(math.Ceil(r.cfg.ClientFraction * float64(n)))
-	if k < 1 {
-		k = 1
-	}
-	return randx.ChoiceWithout(r.server, n, k)
 }
 
 // Run executes cfg.Rounds global iterations from the current global model
 // and returns the recorded series. The round-0 point (before any update)
 // is included so plots start at the common initialization.
 func (r *Runner) Run() *metrics.Series {
-	s := &metrics.Series{Name: r.cfg.Name}
-	s.Append(r.measure(0))
-	for t := 1; t <= r.cfg.Rounds; t++ {
-		r.Step()
-		if t%r.cfg.EvalEvery == 0 || t == r.cfg.Rounds {
-			s.Append(r.measure(t))
-		}
+	s, err := r.eng.Run(context.Background())
+	if err != nil {
+		panic(err) // see Step: unreachable in-process
 	}
 	return s
 }
 
-// measure evaluates the global objective, test accuracy and (optionally)
-// the stationarity gap at the current global model.
-func (r *Runner) measure(round int) metrics.Point {
-	p := metrics.Point{Round: round, TestAcc: math.NaN()}
-	p.TrainLoss = r.GlobalLoss()
-	if r.cfg.Test != nil {
-		if c, ok := r.model.(models.Classifier); ok {
-			p.TestAcc = models.Accuracy(c, r.w, r.cfg.Test)
-		}
-	}
-	if r.cfg.TrackStationarity {
-		p.GradNormSq = r.GlobalGradNormSq()
-	}
-	for _, d := range r.devices {
-		p.GradEvals += d.GradEvals()
-	}
-	return p
+// RunContext is Run with cancellation: it stops between rounds when ctx is
+// done, returning the series so far alongside ctx.Err(). The global model
+// stays at the last completed round, so the run is resumable (see
+// internal/checkpoint).
+func (r *Runner) RunContext(ctx context.Context) (*metrics.Series, error) {
+	return r.eng.Run(ctx)
 }
 
 // GlobalLoss returns F̄(w̄) = Σ_n (D_n/D) F_n(w̄) — the objective of
 // problem (2) at the current global model.
 func (r *Runner) GlobalLoss() float64 {
-	var loss float64
-	for i, shard := range r.part.Clients {
-		loss += r.weights[i] * r.model.Loss(r.w, shard, nil)
-	}
-	return loss
+	return r.eval.Loss(r.eng.Global())
 }
 
 // GlobalGradNormSq returns ‖∇F̄(w̄)‖² — the stationarity gap used in (12).
 func (r *Runner) GlobalGradNormSq() float64 {
-	mathx.Zero(r.grads)
-	g := make([]float64, len(r.grads))
-	for i, shard := range r.part.Clients {
-		r.model.Grad(g, r.w, shard, nil)
-		mathx.Axpy(r.weights[i], g, r.grads)
-	}
-	return mathx.Nrm2Sq(r.grads)
+	return r.eval.GradNormSq(r.eng.Global())
 }
 
 // LocalAccuracy measures the paper's local criterion (11) on device id at
 // the current global model: it runs one local solve and returns
-// θ̂ = ‖∇J_n(w_n)‖ / ‖∇F_n(w̄)‖.
+// θ̂ = ‖∇J_n(w_n)‖ / ‖∇F_n(w̄)‖. The solve happens on runner-owned scratch
+// with a dedicated RNG stream, so the diagnostic leaves the device's local
+// model, RNG, and gradient-evaluation count untouched and the reported
+// GradEvals series stays a faithful cost measure of training alone.
 func (r *Runner) LocalAccuracy(id int) float64 {
 	d := r.devices[id]
-	local := d.RunRound(r.w, r.cfg.Local)
-	lhs := d.Solver.SurrogateGradNorm(d.Shard, local, r.w, r.cfg.Local.Mu)
-	rhs := d.Solver.LocalGradNorm(d.Shard, r.w)
+	cfg := r.eng.Config()
+	w := r.eng.Global()
+	if r.diag == nil {
+		r.diag = make([]float64, len(w))
+		r.diagRNG = randx.NewStream(cfg.Seed, 900_001)
+	}
+	d.Solver.Solve(d.Shard, w, r.diag, cfg.Local, r.diagRNG)
+	lhs := d.Solver.SurrogateGradNorm(d.Shard, r.diag, w, cfg.Local.Mu)
+	rhs := d.Solver.LocalGradNorm(d.Shard, w)
 	if rhs == 0 {
 		return 0
 	}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/randx"
+	"fedproxvr/internal/secure"
+)
+
+// Aggregator folds one round's local models into the global model in
+// place: w̄ ← combine(locals). locals[i] is the model reported by device
+// selected[i]; implementations may reuse locals as scratch (the buffers
+// belong to the round and are dead after aggregation).
+type Aggregator interface {
+	Aggregate(w []float64, selected []int, locals [][]float64) error
+}
+
+// WeightedMean is line 12 of Algorithm 1 over the participating cohort:
+// w̄ = Σ (D_n / Σ_selected D_n) · w_n.
+type WeightedMean struct {
+	weights []float64
+	scratch []float64
+}
+
+// NewWeightedMean builds the data-size-weighted aggregator.
+func NewWeightedMean(weights []float64, dim int) *WeightedMean {
+	return &WeightedMean{weights: weights, scratch: make([]float64, dim)}
+}
+
+// Aggregate implements Aggregator.
+func (a *WeightedMean) Aggregate(w []float64, selected []int, locals [][]float64) error {
+	wsum := selectedWeight(a.weights, selected)
+	if wsum == 0 {
+		return fmt.Errorf("engine: selected cohort has zero total weight")
+	}
+	mathx.Zero(a.scratch)
+	for i, id := range selected {
+		mathx.Axpy(a.weights[id]/wsum, locals[i], a.scratch)
+	}
+	copy(w, a.scratch)
+	return nil
+}
+
+// DPMean is the DP-FedAvg mechanism: every device's round update
+// Δ_n = w_n − w̄ is clipped to at most Clip in L2 norm, the clipped deltas
+// are aggregated by data-size weights, and iid N(0, (Noise·Clip)²) noise is
+// added to the aggregate. It consumes the locals as delta scratch.
+type DPMean struct {
+	weights []float64
+	clip    float64
+	noise   float64
+	rng     *rand.Rand // shared server stream: noise draws stay in seed order
+	scratch []float64
+}
+
+// NewDPMean builds the clipping+noise aggregator. rng must be the engine's
+// server stream so noise draws interleave deterministically with selection
+// and dropout draws.
+func NewDPMean(weights []float64, dim int, clip, noise float64, rng *rand.Rand) *DPMean {
+	return &DPMean{weights: weights, clip: clip, noise: noise, rng: rng, scratch: make([]float64, dim)}
+}
+
+// Aggregate implements Aggregator.
+func (a *DPMean) Aggregate(w []float64, selected []int, locals [][]float64) error {
+	wsum := selectedWeight(a.weights, selected)
+	if wsum == 0 {
+		return fmt.Errorf("engine: selected cohort has zero total weight")
+	}
+	mathx.Zero(a.scratch)
+	for i, id := range selected {
+		delta := locals[i] // reuse the device buffer as Δ_n
+		mathx.Sub(delta, delta, w)
+		if n := mathx.Nrm2(delta); n > a.clip {
+			mathx.Scal(a.clip/n, delta)
+		}
+		mathx.Axpy(a.weights[id]/wsum, delta, a.scratch)
+	}
+	if a.noise > 0 {
+		std := a.noise * a.clip
+		for i := range a.scratch {
+			a.scratch[i] += std * a.rng.NormFloat64()
+		}
+	}
+	mathx.Axpy(1, a.scratch, w)
+	return nil
+}
+
+// SecureMean aggregates through internal/secure's pairwise additive
+// masking: every device pre-scales its model by its data share, adds its
+// pairwise masks, and the server sums the masked submissions — the masks
+// cancel, so the server recovers the weighted mean without ever observing
+// an individual model in the clear. Requires all devices every round (the
+// simplified protocol has no dropout recovery).
+type SecureMean struct {
+	weights []float64
+	maskers []*secure.Masker
+	masked  [][]float64
+}
+
+// NewSecureMean builds one masker per device from a group seed derived
+// from the experiment seed (standing in for pairwise key agreement).
+// maskScale 0 selects the secure package default.
+func NewSecureMean(weights []float64, dim int, seed int64, maskScale float64) *SecureMean {
+	n := len(weights)
+	group := randx.DeriveSeed(seed, 33)
+	a := &SecureMean{
+		weights: weights,
+		maskers: make([]*secure.Masker, n),
+		masked:  make([][]float64, n),
+	}
+	for id := 0; id < n; id++ {
+		a.maskers[id] = &secure.Masker{ID: id, N: n, Dim: dim, GroupSeed: group, MaskScale: maskScale}
+		a.masked[id] = make([]float64, dim)
+	}
+	return a
+}
+
+// Aggregate implements Aggregator.
+func (a *SecureMean) Aggregate(w []float64, selected []int, locals [][]float64) error {
+	if len(selected) != len(a.maskers) {
+		return fmt.Errorf("engine: secure aggregation needs all %d clients, got %d (absent clients' masks cannot cancel)",
+			len(a.maskers), len(selected))
+	}
+	total := selectedWeight(a.weights, selected)
+	for i, id := range selected {
+		if err := a.maskers[id].Mask(a.masked[id], locals[i], a.weights[id]); err != nil {
+			return err
+		}
+	}
+	sum, err := secure.Aggregate(a.masked, total)
+	if err != nil {
+		return err
+	}
+	copy(w, sum)
+	return nil
+}
+
+func selectedWeight(weights []float64, selected []int) float64 {
+	var s float64
+	for _, id := range selected {
+		s += weights[id]
+	}
+	return s
+}

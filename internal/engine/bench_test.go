@@ -1,0 +1,69 @@
+package engine_test
+
+import (
+	"testing"
+
+	"fedproxvr/internal/engine"
+	"fedproxvr/internal/models"
+)
+
+// BenchmarkEngineRoundAllocs measures steady-state per-round allocations of
+// the pooled parallel executor: the worker pool, the locals buffer and the
+// selection buffer are all reused across rounds, so a round allocates O(1)
+// (the WaitGroup escaping into the job structs) — versus the historical
+// per-Step `make([][]float64, n)` + goroutine-per-device fan-out.
+func BenchmarkEngineRoundAllocs(b *testing.B) {
+	p := testPartition(8, 40, 5, 3, 1)
+	m := models.NewSoftmax(5, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.Rounds = 1 << 30 // stepped manually; never reached
+
+	devices := make([]*engine.Device, len(p.Clients))
+	for i, shard := range p.Clients {
+		devices[i] = engine.NewDevice(i, shard, m, cfg.Seed)
+	}
+	exec := engine.NewParallel(devices, cfg.Local, 0)
+	defer exec.Close()
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Step(); err != nil { // warm the reusable buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialRoundAllocs is the sequential baseline for the same
+// round (no pool, no goroutines, same reused buffers).
+func BenchmarkSequentialRoundAllocs(b *testing.B) {
+	p := testPartition(8, 40, 5, 3, 1)
+	m := models.NewSoftmax(5, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.Rounds = 1 << 30
+
+	devices := make([]*engine.Device, len(p.Clients))
+	for i, shard := range p.Clients {
+		devices[i] = engine.NewDevice(i, shard, m, cfg.Seed)
+	}
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), engine.NewSequential(devices, cfg.Local))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package engine owns the server side of Algorithm 1's outer loop — once,
+// for every runtime. A round is: select the participating cohort, inject
+// report failures, fan the anchor out to an Executor (sequential, pooled
+// parallel goroutines, a simulated-clock fleet, or TCP workers), and fold
+// the returned local models through an Aggregator (weighted mean, DP
+// clip+noise, or pairwise-masked secure aggregation). Selection, dropout,
+// aggregation and metric measurement live only here; the backends under
+// internal/core, internal/simnet and internal/transport are Executors
+// plugged into this loop, which is what makes their outputs bit-identical
+// by construction (every device owns a private RNG stream, and every
+// server-side draw comes from one stream consumed in a fixed order).
+package engine
+
+import (
+	"fmt"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/optim"
+)
+
+// Config describes one federated training run.
+type Config struct {
+	// Name labels the output series (e.g. "FedProxVR (SARAH)").
+	Name string
+	// Local is the device-side inner-loop configuration (estimator, η, τ,
+	// batch, μ).
+	Local optim.LocalConfig
+	// Rounds is the number of global iterations T.
+	Rounds int
+	// EvalEvery computes metrics every k rounds (default 1). Metrics are
+	// also always computed at the final round.
+	EvalEvery int
+	// Test, if non-nil, is the held-out set used for accuracy.
+	Test *data.Dataset
+	// TrackStationarity adds ‖∇F̄(w̄)‖² (one full-data gradient pass per
+	// evaluation) to the series — the paper's convergence indicator (12).
+	TrackStationarity bool
+	// Parallel fans the devices of each round out to a persistent pool of
+	// GOMAXPROCS workers. Results are identical to the sequential schedule
+	// because every device owns an independent RNG stream.
+	Parallel bool
+	// ClientFraction samples this fraction of devices per round (default 1,
+	// as in the paper, where all devices participate).
+	ClientFraction float64
+	// DropoutProb is the probability that a participating device fails to
+	// report its round (battery, network loss). The server aggregates over
+	// the survivors, reweighting by their data sizes; if every device
+	// drops, the global model is unchanged that round. 0 disables failure
+	// injection.
+	DropoutProb float64
+	// DPClip, when positive, clips every device's round update
+	// Δ_n = w_n − w̄ to at most this L2 norm before aggregation — the
+	// update-norm bounding step of DP-FedAvg. 0 disables clipping.
+	DPClip float64
+	// DPNoise, when positive, adds iid N(0, (DPNoise·DPClip)²) noise to
+	// every coordinate of the aggregated update (requires DPClip > 0).
+	// This is the mechanism of DP-FedAvg without a formal (ε, δ)
+	// accountant; see the privacy note in DESIGN.md.
+	DPNoise float64
+	// SecureAgg aggregates through pairwise additive masking
+	// (internal/secure): the server only ever observes masked submissions
+	// whose sum equals the weighted mean. Requires full participation
+	// (ClientFraction 1, DropoutProb 0 — the simplified protocol has no
+	// dropout recovery) and is mutually exclusive with DPClip.
+	SecureAgg bool
+	// SecureMaskScale is the stddev of mask entries (default 100).
+	SecureMaskScale float64
+	// Seed drives every random choice in the run.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Local.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("engine: Rounds must be ≥ 1, got %d", c.Rounds)
+	}
+	if c.EvalEvery < 0 {
+		return fmt.Errorf("engine: EvalEvery must be ≥ 0, got %d", c.EvalEvery)
+	}
+	if c.ClientFraction < 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("engine: ClientFraction must be in [0,1], got %v", c.ClientFraction)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("engine: DropoutProb must be in [0,1), got %v", c.DropoutProb)
+	}
+	if c.DPClip < 0 {
+		return fmt.Errorf("engine: DPClip must be non-negative, got %v", c.DPClip)
+	}
+	if c.DPNoise < 0 {
+		return fmt.Errorf("engine: DPNoise must be non-negative, got %v", c.DPNoise)
+	}
+	if c.DPNoise > 0 && c.DPClip == 0 {
+		return fmt.Errorf("engine: DPNoise requires DPClip > 0 (noise scales with the clip bound)")
+	}
+	if c.SecureAgg {
+		if c.DPClip > 0 {
+			return fmt.Errorf("engine: SecureAgg and DPClip are mutually exclusive aggregators")
+		}
+		if c.DropoutProb > 0 || (c.ClientFraction > 0 && c.ClientFraction < 1) {
+			return fmt.Errorf("engine: SecureAgg needs full participation (no sampling or dropout): absent clients' pairwise masks cannot cancel")
+		}
+	}
+	if c.SecureMaskScale < 0 {
+		return fmt.Errorf("engine: SecureMaskScale must be non-negative, got %v", c.SecureMaskScale)
+	}
+	return nil
+}
+
+// withDefaults returns the config with zero-value fields normalized.
+func (c Config) withDefaults() Config {
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 1
+	}
+	if c.ClientFraction == 0 {
+		c.ClientFraction = 1
+	}
+	return c
+}

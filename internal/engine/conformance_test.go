@@ -1,0 +1,270 @@
+// Backend-conformance suite: every executor backend — sequential, pooled
+// parallel, simulated-clock fleet, and gob/TCP — must produce bit-identical
+// global models from the same seed, because the outer loop is the engine's
+// and every device owns a private RNG stream. This subsumes the historical
+// TestParallelMatchesSequentialExactly and the transport bit-for-bit test.
+package engine_test
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/optim"
+	"fedproxvr/internal/randx"
+	"fedproxvr/internal/simnet"
+	"fedproxvr/internal/transport"
+)
+
+func testPartition(devices, perDevice, dim, classes int, seed int64) *data.Partition {
+	p := &data.Partition{Clients: make([]*data.Dataset, devices)}
+	for k := 0; k < devices; k++ {
+		rng := randx.NewStream(seed, int64(k))
+		ds := data.New(dim, classes, perDevice)
+		x := make([]float64, dim)
+		for i := 0; i < perDevice; i++ {
+			c := (k + i) % classes
+			randx.NormalVec(rng, x, float64(c), 0.5)
+			ds.AppendClass(x, c)
+		}
+		p.Clients[k] = ds
+	}
+	return p
+}
+
+func newDevices(p *data.Partition, m models.Model, seed int64) []*engine.Device {
+	devices := make([]*engine.Device, len(p.Clients))
+	for i, shard := range p.Clients {
+		devices[i] = engine.NewDevice(i, shard, m, seed)
+	}
+	return devices
+}
+
+// runBackend builds an engine over the executor mk returns and runs it to
+// completion, returning the final global model and the series.
+func runBackend(t *testing.T, cfg engine.Config, p *data.Partition, m models.Model,
+	mk func([]*engine.Device) engine.Executor) ([]float64, *metrics.Series) {
+	t.Helper()
+	exec := mk(newDevices(p, m, cfg.Seed))
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := exec.(*engine.Parallel); ok {
+		c.Close()
+	}
+	return mathx.Clone(eng.Global()), s
+}
+
+// runTCP runs the same configuration over loopback TCP workers.
+func runTCP(t *testing.T, cfg engine.Config, p *data.Partition, m models.Model) ([]float64, *metrics.Series) {
+	t.Helper()
+	n := len(p.Clients)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			w, err := transport.NewWorker(addr, k, p.Clients[k], m, cfg.Seed)
+			if err != nil {
+				t.Errorf("worker %d: %v", k, err)
+				return
+			}
+			if err := w.Serve(); err != nil {
+				t.Errorf("worker %d serve: %v", k, err)
+			}
+		}(k)
+	}
+	c, err := transport.NewCoordinatorOn(ln, n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	eng, err := engine.New(cfg, m.Dim(), c.Weights(), c.Executor(cfg.Local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mathx.Clone(eng.Global())
+	c.Shutdown()
+	wg.Wait()
+	return got, s
+}
+
+func conformanceConfigs() map[string]engine.Config {
+	base := engine.Config{
+		Local: optim.LocalConfig{
+			Estimator: optim.SARAH,
+			Eta:       1.0 / 6,
+			Tau:       5,
+			Batch:     4,
+			Mu:        0.2,
+			Return:    optim.ReturnLast,
+		},
+		Rounds: 6,
+		Seed:   42,
+	}
+	partial := base
+	partial.ClientFraction = 0.5
+	partial.DropoutProb = 0.25
+	partial.Seed = 7
+	dp := base
+	dp.DPClip = 0.5
+	dp.DPNoise = 0.05
+	dp.Seed = 11
+	return map[string]engine.Config{"full": base, "partial": partial, "dp": dp}
+}
+
+func TestBackendConformance(t *testing.T) {
+	p := testPartition(4, 30, 3, 3, 1)
+	m := models.NewSoftmax(3, 3, 0)
+	fleet := simnet.NewUniformFleet(4, simnet.DeviceProfile{ComputePerIter: 0.01, Uplink: 0.1, Downlink: 0.1}, 5)
+
+	for name, cfg := range conformanceConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			want, wantSeries := runBackend(t, cfg, p, m, func(d []*engine.Device) engine.Executor {
+				return engine.NewSequential(d, cfg.Local)
+			})
+			backends := map[string]func(*testing.T) ([]float64, *metrics.Series){
+				"parallel": func(t *testing.T) ([]float64, *metrics.Series) {
+					return runBackend(t, cfg, p, m, func(d []*engine.Device) engine.Executor {
+						return engine.NewParallel(d, cfg.Local, 0)
+					})
+				},
+				"timed": func(t *testing.T) ([]float64, *metrics.Series) {
+					return runBackend(t, cfg, p, m, func(d []*engine.Device) engine.Executor {
+						return simnet.NewTimedExecutor(engine.NewSequential(d, cfg.Local), fleet, cfg.Local.Tau)
+					})
+				},
+				"tcp": func(t *testing.T) ([]float64, *metrics.Series) {
+					return runTCP(t, cfg, p, m)
+				},
+			}
+			for bname, run := range backends {
+				got, gotSeries := run(t)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: global model differs from sequential at %d: %v vs %v",
+							bname, i, got[i], want[i])
+					}
+				}
+				wl, _ := wantSeries.Last()
+				gl, _ := gotSeries.Last()
+				if gl.GradEvals != wl.GradEvals {
+					t.Fatalf("%s: GradEvals %d, sequential %d", bname, gl.GradEvals, wl.GradEvals)
+				}
+			}
+			if mathx.Nrm2Sq(want) == 0 {
+				t.Fatal("training left the model at zero — conformance is vacuous")
+			}
+		})
+	}
+}
+
+// TestSecureAggregationEndToEnd trains through the engine with the
+// pairwise-masking aggregator and checks the trajectory matches plain
+// weighted-mean training up to mask-cancellation rounding: the server never
+// sees a model in the clear, yet learns the same global model.
+func TestSecureAggregationEndToEnd(t *testing.T) {
+	p := testPartition(4, 30, 3, 3, 2)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["full"]
+
+	plain, _ := runBackend(t, cfg, p, m, func(d []*engine.Device) engine.Executor {
+		return engine.NewSequential(d, cfg.Local)
+	})
+
+	scfg := cfg
+	scfg.SecureAgg = true
+	sec, _ := runBackend(t, scfg, p, m, func(d []*engine.Device) engine.Executor {
+		return engine.NewSequential(d, scfg.Local)
+	})
+
+	for i := range plain {
+		if math.Abs(sec[i]-plain[i]) > 1e-6 {
+			t.Fatalf("secure model differs at %d: %v vs %v", i, sec[i], plain[i])
+		}
+	}
+}
+
+// TestSecureAggRejectsPartialParticipation: absent clients' masks cannot
+// cancel, so the config layer must refuse the combination.
+func TestSecureAggRejectsPartialParticipation(t *testing.T) {
+	cfg := conformanceConfigs()["full"]
+	cfg.SecureAgg = true
+	cfg.DropoutProb = 0.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("SecureAgg with dropout should fail validation")
+	}
+	cfg.DropoutProb = 0
+	cfg.ClientFraction = 0.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("SecureAgg with sampling should fail validation")
+	}
+}
+
+// TestRunCancellation: a context cancelled mid-run stops between rounds,
+// returns ctx.Err(), and leaves the engine resumable — finishing the
+// remaining rounds afterwards produces a complete series.
+func TestRunCancellation(t *testing.T) {
+	p := testPartition(3, 20, 3, 3, 3)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.Rounds = 10
+
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), engine.NewSequential(newDevices(p, m, cfg.Seed), cfg.Local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	eng.OnRound(func(info engine.RoundInfo) error {
+		if info.Round == 3 {
+			cancel()
+		}
+		return nil
+	})
+	s, err := eng.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if eng.Round() != 3 {
+		t.Fatalf("stopped at round %d, want 3", eng.Round())
+	}
+	if last, _ := s.Last(); last.Round != 3 {
+		t.Fatalf("partial series ends at %d, want 3", last.Round)
+	}
+
+	// The same engine resumes and completes the remaining rounds.
+	s2, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := s2.Last()
+	if last.Round != cfg.Rounds {
+		t.Fatalf("resumed run ends at %d, want %d", last.Round, cfg.Rounds)
+	}
+	if eng.Round() != cfg.Rounds {
+		t.Fatalf("engine at round %d, want %d", eng.Round(), cfg.Rounds)
+	}
+}

@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/randx"
+)
+
+// RoundInfo is passed to per-round hooks after aggregation and measurement.
+type RoundInfo struct {
+	// Round is the just-completed global iteration (1-based).
+	Round int
+	// Participants are the device IDs that reported this round (after
+	// dropout injection); empty when every selected device dropped.
+	Participants []int
+	// Global aliases the current global model — copy before mutating.
+	Global []float64
+	// Series is the series Run is building (points appended so far,
+	// including this round's if it was an evaluation round). Nil when the
+	// round was driven by Step directly.
+	Series *metrics.Series
+}
+
+// Hook observes completed rounds (checkpointing, time accounting, early
+// stopping). Returning an error aborts the run with that error.
+type Hook func(RoundInfo) error
+
+// Engine drives the outer loop of Algorithm 1: selection → dropout →
+// Executor fan-out → Aggregator fold, plus metric measurement and
+// per-round hooks. It is the single implementation shared by the
+// in-process, simulated-clock and TCP runtimes.
+type Engine struct {
+	cfg     Config
+	exec    Executor
+	agg     Aggregator
+	weights []float64
+	server  *rand.Rand
+	w       []float64
+	selBuf  []int
+	hooks   []Hook
+	eval    *Evaluator
+	round   int
+}
+
+type engineError string
+
+func (e engineError) Error() string { return string(e) }
+
+// ErrNoClients is returned when the run has an empty cohort.
+const ErrNoClients = engineError("engine: no clients")
+
+// New validates cfg, applies defaults, and builds an engine over dim-sized
+// models for a cohort whose data shares are weights (summing to 1). The
+// aggregator is chosen from cfg (weighted mean, DP, or secure); override it
+// with SetAggregator before running.
+func New(cfg Config, dim int, weights []float64, exec Executor) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) == 0 {
+		return nil, ErrNoClients
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		exec:    exec,
+		weights: weights,
+		server:  randx.NewStream(cfg.Seed, 1),
+		w:       make([]float64, dim),
+	}
+	switch {
+	case cfg.SecureAgg:
+		e.agg = NewSecureMean(weights, dim, cfg.Seed, cfg.SecureMaskScale)
+	case cfg.DPClip > 0:
+		e.agg = NewDPMean(weights, dim, cfg.DPClip, cfg.DPNoise, e.server)
+	default:
+		e.agg = NewWeightedMean(weights, dim)
+	}
+	return e, nil
+}
+
+// Config returns the run configuration with defaults applied.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Global returns the current global model (aliased; copy before mutating).
+func (e *Engine) Global() []float64 { return e.w }
+
+// SetGlobal initializes the global model (default: the zero vector).
+func (e *Engine) SetGlobal(w []float64) { copy(e.w, w) }
+
+// Round returns the number of completed global iterations.
+func (e *Engine) Round() int { return e.round }
+
+// SetRound fast-forwards the round counter (checkpoint resume). It does not
+// replay server RNG draws: a resumed run is statistically equivalent to,
+// not bit-identical with, an uninterrupted one (matching the documented
+// checkpoint semantics).
+func (e *Engine) SetRound(t int) { e.round = t }
+
+// Executor returns the current backend.
+func (e *Engine) Executor() Executor { return e.exec }
+
+// SetExecutor swaps the backend (e.g. wrapping it in a simulated-clock
+// decorator). Safe between rounds, not during one.
+func (e *Engine) SetExecutor(x Executor) { e.exec = x }
+
+// Aggregator returns the current aggregation rule.
+func (e *Engine) Aggregator() Aggregator { return e.agg }
+
+// SetAggregator overrides the config-derived aggregation rule.
+func (e *Engine) SetAggregator(a Aggregator) { e.agg = a }
+
+// SetEvaluator installs server-side measurement (loss, accuracy,
+// stationarity). Without one, measured points carry only round numbers and
+// gradient-eval counts.
+func (e *Engine) SetEvaluator(ev *Evaluator) { e.eval = ev }
+
+// OnRound registers a hook called after every completed round, in
+// registration order. The returned function unregisters it (for callers
+// like internal/checkpoint that borrow an engine for one run).
+func (e *Engine) OnRound(h Hook) func() {
+	e.hooks = append(e.hooks, h)
+	i := len(e.hooks) - 1
+	return func() { e.hooks[i] = nil }
+}
+
+// Step performs one global iteration: broadcast, local solve on the
+// selected devices, weighted aggregation. It returns the participating
+// device IDs (after failure injection); if every device drops out the
+// global model is left unchanged.
+func (e *Engine) Step() ([]int, error) {
+	e.round++
+	e.selBuf = SelectClients(e.server, len(e.weights), e.cfg.ClientFraction, e.selBuf)
+	selected := Dropout(e.server, e.selBuf, e.cfg.DropoutProb)
+	if len(selected) == 0 {
+		return selected, nil
+	}
+	locals, err := e.exec.RunClients(e.w, selected)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.agg.Aggregate(e.w, selected, locals); err != nil {
+		return nil, err
+	}
+	return selected, nil
+}
+
+// Run executes the remaining global iterations (Rounds minus completed),
+// measuring every EvalEvery rounds and at the end, and returns the
+// recorded series. The round-0 point is included when starting fresh so
+// plots begin at the common initialization. ctx cancels between rounds:
+// Run returns the series so far plus ctx.Err(), with the global model left
+// at the last completed round (resumable — see internal/checkpoint).
+func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
+	s := &metrics.Series{Name: e.cfg.Name}
+	if e.round == 0 {
+		s.Append(e.measure(0))
+	}
+	for e.round < e.cfg.Rounds {
+		if err := ctx.Err(); err != nil {
+			return s, err
+		}
+		sel, err := e.Step()
+		if err != nil {
+			return s, err
+		}
+		t := e.round
+		if t%e.cfg.EvalEvery == 0 || t == e.cfg.Rounds {
+			s.Append(e.measure(t))
+		}
+		if len(e.hooks) > 0 {
+			info := RoundInfo{Round: t, Participants: sel, Global: e.w, Series: s}
+			for _, h := range e.hooks {
+				if h == nil {
+					continue
+				}
+				if err := h(info); err != nil {
+					return s, err
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// measure evaluates the configured metrics at the current global model.
+func (e *Engine) measure(round int) metrics.Point {
+	p := metrics.Point{Round: round, TestAcc: math.NaN()}
+	if e.eval != nil {
+		p.TrainLoss = e.eval.Loss(e.w)
+		p.TestAcc = e.eval.Accuracy(e.w)
+		if e.cfg.TrackStationarity {
+			p.GradNormSq = e.eval.GradNormSq(e.w)
+		}
+	}
+	if ec, ok := e.exec.(EvalCounter); ok {
+		p.GradEvals = ec.GradEvals()
+	}
+	return p
+}
+
+// SelectClients draws the round's cohort: all n devices when fraction ≥ 1
+// (reusing buf), otherwise ⌈fraction·n⌉ distinct uniform indices. The
+// draw order matches the historical core.Runner so seeds reproduce.
+func SelectClients(rng *rand.Rand, n int, fraction float64, buf []int) []int {
+	if fraction >= 1 {
+		if cap(buf) < n {
+			buf = make([]int, n)
+		}
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = i
+		}
+		return buf
+	}
+	k := int(math.Ceil(fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	return randx.ChoiceWithout(rng, n, k)
+}
+
+// Dropped draws one report-failure event from the server stream.
+func Dropped(rng *rand.Rand, prob float64) bool {
+	return prob > 0 && rng.Float64() < prob
+}
+
+// Dropout filters selected in place to the devices that survive failure
+// injection (one draw per selected device, in order).
+func Dropout(rng *rand.Rand, selected []int, prob float64) []int {
+	if prob <= 0 {
+		return selected
+	}
+	survivors := selected[:0]
+	for _, id := range selected {
+		if !Dropped(rng, prob) {
+			survivors = append(survivors, id)
+		}
+	}
+	return survivors
+}
+
+// Evaluator measures server-side metrics over the cohort's shards with
+// engine-owned scratch (no per-evaluation allocation).
+type Evaluator struct {
+	Model   models.Model
+	Clients []*data.Dataset // training shards for the global objective
+	Weights []float64
+	Test    *data.Dataset
+
+	grads, g []float64
+}
+
+// Loss returns F̄(w) = Σ_n (D_n/D) F_n(w) — the objective of problem (2).
+func (ev *Evaluator) Loss(w []float64) float64 {
+	var loss float64
+	for i, shard := range ev.Clients {
+		loss += ev.Weights[i] * ev.Model.Loss(w, shard, nil)
+	}
+	return loss
+}
+
+// Accuracy returns test accuracy, or NaN without a test set or classifier.
+func (ev *Evaluator) Accuracy(w []float64) float64 {
+	if ev.Test == nil || ev.Model == nil {
+		return math.NaN()
+	}
+	c, ok := ev.Model.(models.Classifier)
+	if !ok {
+		return math.NaN()
+	}
+	return models.Accuracy(c, w, ev.Test)
+}
+
+// GradNormSq returns ‖∇F̄(w)‖² — the stationarity gap used in (12) — using
+// reusable scratch buffers.
+func (ev *Evaluator) GradNormSq(w []float64) float64 {
+	if cap(ev.grads) < len(w) {
+		ev.grads = make([]float64, len(w))
+		ev.g = make([]float64, len(w))
+	}
+	grads, g := ev.grads[:len(w)], ev.g[:len(w)]
+	mathx.Zero(grads)
+	for i, shard := range ev.Clients {
+		ev.Model.Grad(g, w, shard, nil)
+		mathx.Axpy(ev.Weights[i], g, grads)
+	}
+	return mathx.Nrm2Sq(grads)
+}

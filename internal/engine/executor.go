@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/optim"
+	"fedproxvr/internal/randx"
+	"fedproxvr/internal/tensor"
+)
+
+// Device is one simulated user device: its data shard, its solver (with a
+// private clone of the model for goroutine safety), and its private RNG
+// stream (which makes parallel and sequential schedules bit-identical).
+type Device struct {
+	ID     int
+	Shard  *data.Dataset
+	Solver *optim.Solver
+	RNG    *rand.Rand
+
+	local     []float64 // last reported local model w_n^(s)
+	gradEvals int64
+}
+
+// NewDevice builds a device around a private model clone.
+func NewDevice(id int, shard *data.Dataset, m models.Model, seed int64) *Device {
+	return &Device{
+		ID:     id,
+		Shard:  shard,
+		Solver: optim.NewSolver(m.Clone()),
+		RNG:    randx.NewStream(seed, int64(id)+101),
+		local:  make([]float64, m.Dim()),
+	}
+}
+
+// RunRound executes the device's inner loop from the given anchor and
+// returns its reported local model (valid until the next RunRound).
+func (d *Device) RunRound(anchor []float64, cfg optim.LocalConfig) []float64 {
+	n := d.Solver.Solve(d.Shard, anchor, d.local, cfg, d.RNG)
+	d.gradEvals += int64(n)
+	return d.local
+}
+
+// GradEvals returns the cumulative gradient evaluations of this device.
+func (d *Device) GradEvals() int64 { return d.gradEvals }
+
+// Executor runs the selected devices' local solves from the anchor and
+// returns their reported models, locals[i] belonging to selected[i]. The
+// returned slices are valid until the next RunClients call. Implementations
+// are the four backends: Sequential, Parallel (in-process), the
+// simulated-clock fleet (internal/simnet.TimedExecutor) and the TCP
+// coordinator (internal/transport.Executor).
+type Executor interface {
+	RunClients(anchor []float64, selected []int) ([][]float64, error)
+}
+
+// EvalCounter is implemented by executors that can report the cumulative
+// local gradient evaluations across their devices.
+type EvalCounter interface {
+	GradEvals() int64
+}
+
+// Sequential runs the selected devices one after another on the calling
+// goroutine.
+type Sequential struct {
+	devices []*Device
+	local   optim.LocalConfig
+	buf     [][]float64
+}
+
+// NewSequential builds the sequential in-process executor.
+func NewSequential(devices []*Device, local optim.LocalConfig) *Sequential {
+	return &Sequential{devices: devices, local: local}
+}
+
+// RunClients implements Executor.
+func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	out := growLocals(&s.buf, len(selected))
+	for i, id := range selected {
+		out[i] = s.devices[id].RunRound(anchor, s.local)
+	}
+	return out, nil
+}
+
+// GradEvals implements EvalCounter.
+func (s *Sequential) GradEvals() int64 { return sumEvals(s.devices) }
+
+// Devices exposes the executor's devices (read-only use).
+func (s *Sequential) Devices() []*Device { return s.devices }
+
+// parJob is one device solve handed to the worker pool. It carries every
+// pointer a worker needs so the workers never reference the Parallel struct
+// itself (which lets a forgotten pool be finalized and its goroutines
+// reaped).
+type parJob struct {
+	i      int
+	dev    *Device
+	anchor []float64
+	out    [][]float64
+	local  optim.LocalConfig
+	wg     *sync.WaitGroup
+}
+
+// Parallel fans each round's devices out to a persistent pool of worker
+// goroutines. Unlike a per-round goroutine fan-out it allocates nothing per
+// round beyond one WaitGroup: the locals buffer and the job channel are
+// reused for the lifetime of the executor (see BenchmarkEngineRoundAllocs).
+type Parallel struct {
+	devices []*Device
+	local   optim.LocalConfig
+	jobs    chan parJob
+	buf     [][]float64
+	once    sync.Once
+}
+
+// NewParallel builds the pooled parallel executor. workers ≤ 0 selects the
+// tensor worker budget (GOMAXPROCS-derived).
+func NewParallel(devices []*Device, local optim.LocalConfig, workers int) *Parallel {
+	if workers < 1 {
+		workers = maxParallel()
+	}
+	p := &Parallel{devices: devices, local: local, jobs: make(chan parJob)}
+	for k := 0; k < workers; k++ {
+		go parWorker(p.jobs)
+	}
+	// Safety net: reap the pool goroutines when an un-Closed executor
+	// becomes unreachable (runs created via the facade are not obliged to
+	// call Close).
+	runtime.SetFinalizer(p, (*Parallel).Close)
+	return p
+}
+
+func parWorker(jobs <-chan parJob) {
+	for j := range jobs {
+		j.out[j.i] = j.dev.RunRound(j.anchor, j.local)
+		j.wg.Done()
+	}
+}
+
+// RunClients implements Executor. Results are bit-identical to Sequential
+// because every device owns a private RNG stream.
+func (p *Parallel) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	out := growLocals(&p.buf, len(selected))
+	var wg sync.WaitGroup
+	wg.Add(len(selected))
+	for i, id := range selected {
+		p.jobs <- parJob{i: i, dev: p.devices[id], anchor: anchor, out: out, local: p.local, wg: &wg}
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// GradEvals implements EvalCounter.
+func (p *Parallel) GradEvals() int64 { return sumEvals(p.devices) }
+
+// Devices exposes the executor's devices (read-only use).
+func (p *Parallel) Devices() []*Device { return p.devices }
+
+// Close stops the worker pool. Idempotent; the pool is also closed by a
+// finalizer if the executor is dropped without Close.
+func (p *Parallel) Close() {
+	p.once.Do(func() {
+		runtime.SetFinalizer(p, nil)
+		close(p.jobs)
+	})
+}
+
+// growLocals resizes *buf to n entries without reallocating when capacity
+// allows, returning the usable prefix.
+func growLocals(buf *[][]float64, n int) [][]float64 {
+	if cap(*buf) < n {
+		*buf = make([][]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func sumEvals(devices []*Device) int64 {
+	var total int64
+	for _, d := range devices {
+		total += d.GradEvals()
+	}
+	return total
+}
+
+func maxParallel() int {
+	n := tensor.MaxWorkers()
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fedproxvr/internal/core"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
 )
 
@@ -50,10 +51,51 @@ func (s *TimedSeries) TotalTime() float64 {
 	return s.Points[len(s.Points)-1].Time
 }
 
-// Train runs the federated runner against the fleet's clock: each round
-// advances simulated time by the straggler-aware synchronous round time
-// 𝒯_round = max over participants of (downlink + τ·compute + uplink).
-// This realizes the paper's training-time model (19) empirically.
+// TimedExecutor decorates an engine.Executor with the fleet's clock: every
+// round charges the straggler-aware synchronous round time
+// 𝒯_round = max over participants of (downlink + τ·compute + uplink) —
+// the paper's training-time model (19). The models it returns are
+// bit-identical to the inner executor's; only the clock is added.
+type TimedExecutor struct {
+	inner engine.Executor
+	fleet *Fleet
+	tau   int
+	now   float64
+}
+
+// NewTimedExecutor wraps inner with fleet timing for τ local iterations
+// per round.
+func NewTimedExecutor(inner engine.Executor, fleet *Fleet, tau int) *TimedExecutor {
+	return &TimedExecutor{inner: inner, fleet: fleet, tau: tau}
+}
+
+// RunClients implements engine.Executor.
+func (x *TimedExecutor) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	locals, err := x.inner.RunClients(anchor, selected)
+	if err != nil {
+		return nil, err
+	}
+	x.now += x.fleet.RoundTime(selected, x.tau)
+	return locals, nil
+}
+
+// GradEvals implements engine.EvalCounter when the inner executor does.
+func (x *TimedExecutor) GradEvals() int64 {
+	if ec, ok := x.inner.(engine.EvalCounter); ok {
+		return ec.GradEvals()
+	}
+	return 0
+}
+
+// Inner returns the wrapped executor.
+func (x *TimedExecutor) Inner() engine.Executor { return x.inner }
+
+// Now returns the simulated seconds elapsed so far.
+func (x *TimedExecutor) Now() float64 { return x.now }
+
+// Train runs the federated runner against the fleet's clock by swapping a
+// TimedExecutor into the runner's engine for the duration of the run, so
+// the outer loop (selection, dropout, aggregation) stays the engine's.
 func Train(r *core.Runner, fleet *Fleet, measureEvery int) (*TimedSeries, error) {
 	if err := fleet.Validate(); err != nil {
 		return nil, err
@@ -66,16 +108,18 @@ func Train(r *core.Runner, fleet *Fleet, measureEvery int) (*TimedSeries, error)
 	if measureEvery < 1 {
 		measureEvery = 1
 	}
+	eng := r.Engine()
+	tx := NewTimedExecutor(eng.Executor(), fleet, cfg.Local.Tau)
+	eng.SetExecutor(tx)
+	defer eng.SetExecutor(tx.Inner())
 	out := &TimedSeries{Name: cfg.Name}
-	now := 0.0
 	measure := func(round int) {
 		p := metrics.Point{Round: round, TrainLoss: r.GlobalLoss(), TestAcc: math.NaN()}
-		out.Points = append(out.Points, TimedPoint{Time: now, Point: p})
+		out.Points = append(out.Points, TimedPoint{Time: tx.Now(), Point: p})
 	}
 	measure(0)
 	for t := 1; t <= cfg.Rounds; t++ {
-		participants := r.Step()
-		now += fleet.RoundTime(participants, cfg.Local.Tau)
+		r.Step()
 		if t%measureEvery == 0 || t == cfg.Rounds {
 			measure(t)
 		}

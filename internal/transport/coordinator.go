@@ -1,9 +1,9 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
-	"math"
 	"net"
 	"sort"
 	"sync"
@@ -11,9 +11,11 @@ import (
 
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/mathx"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/models"
+	"fedproxvr/internal/optim"
 )
 
 // clientConn is one connected worker.
@@ -26,7 +28,9 @@ type clientConn struct {
 }
 
 // Coordinator is the server side of the distributed runtime. It owns the
-// listener, the connected workers, and the global model.
+// listener, the connected workers, and the wire protocol; the outer loop
+// (selection, dropout, aggregation) is the engine's, reached through
+// Executor.
 type Coordinator struct {
 	ln      net.Listener
 	clients []*clientConn
@@ -118,15 +122,31 @@ func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
 // Weights returns the aggregation weights D_n/D gathered from the Hellos.
 func (c *Coordinator) Weights() []float64 { return c.weights }
 
-// Round broadcasts the anchor, gathers all local models, and returns them
-// indexed by client ID.
+// Round broadcasts the anchor to every worker, gathers all local models,
+// and returns them indexed by client ID.
 func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][]float64, error) {
-	a64, a32 := quantize(c.codec, anchor)
-	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local.Local}
+	all := make([]int, len(c.clients))
+	for i := range all {
+		all[i] = i
+	}
 	locals := make([][]float64, len(c.clients))
-	errs := make([]error, len(c.clients))
+	if err := c.roundSubset(round, anchor, local.Local, all, locals, nil); err != nil {
+		return nil, err
+	}
+	return locals, nil
+}
+
+// roundSubset runs one round against the selected workers only (partial
+// participation), filling locals[i] with selected[i]'s reported model and,
+// when evals is non-nil, evals[id] with that worker's cumulative gradient
+// evaluations.
+func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.LocalConfig, selected []int, locals [][]float64, evals []int64) error {
+	a64, a32 := quantize(c.codec, anchor)
+	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local}
+	errs := make([]error, len(selected))
 	var wg sync.WaitGroup
-	for i, cc := range c.clients {
+	for i, id := range selected {
+		cc := c.clients[id]
 		wg.Add(1)
 		go func(i int, cc *clientConn) {
 			defer wg.Done()
@@ -152,22 +172,66 @@ func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][
 					cc.id, rep.Round, round)
 				return
 			}
-			local := rep.LocalVec()
-			if len(local) != len(anchor) {
+			vec := rep.LocalVec()
+			if len(vec) != len(anchor) {
 				errs[i] = fmt.Errorf("transport: client %d sent %d params, want %d",
-					cc.id, len(local), len(anchor))
+					cc.id, len(vec), len(anchor))
 				return
 			}
-			locals[i] = local
+			locals[i] = vec
+			if evals != nil {
+				evals[cc.id] = int64(rep.GradEvals)
+			}
 		}(i, cc)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return locals, nil
+	return nil
+}
+
+// Executor adapts the coordinator to the engine's Executor interface: each
+// RunClients is one wire round against the selected workers. It satisfies
+// engine.EvalCounter from the workers' reported cumulative evaluation
+// counts.
+type Executor struct {
+	c     *Coordinator
+	local optim.LocalConfig
+	round int
+	buf   [][]float64
+	evals []int64
+}
+
+// Executor returns an engine backend that drives this coordinator's
+// workers with the given local configuration.
+func (c *Coordinator) Executor(local optim.LocalConfig) *Executor {
+	return &Executor{c: c, local: local, evals: make([]int64, len(c.clients))}
+}
+
+// RunClients implements engine.Executor.
+func (x *Executor) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	x.round++
+	if cap(x.buf) < len(selected) {
+		x.buf = make([][]float64, len(selected))
+	}
+	out := x.buf[:len(selected)]
+	if err := x.c.roundSubset(x.round, anchor, x.local, selected, out, x.evals); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GradEvals implements engine.EvalCounter: the sum of every worker's last
+// reported cumulative gradient-evaluation count.
+func (x *Executor) GradEvals() int64 {
+	var s int64
+	for _, e := range x.evals {
+		s += e
+	}
+	return s
 }
 
 // Train runs cfg.Rounds federated rounds starting from w0 and returns the
@@ -176,43 +240,40 @@ func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][
 // the data only for evaluation; training data never leaves workers in a
 // real deployment — pass nil to skip).
 func (c *Coordinator) Train(w0 []float64, cfg core.Config, evalModel models.Model, trainSets []*data.Dataset) ([]float64, *metrics.Series, error) {
-	if err := cfg.Validate(); err != nil {
+	return c.TrainContext(context.Background(), w0, cfg, evalModel, trainSets)
+}
+
+// TrainContext is Train with cancellation: the run stops between rounds
+// when ctx is done, returning the series so far alongside ctx.Err().
+func (c *Coordinator) TrainContext(ctx context.Context, w0 []float64, cfg core.Config, evalModel models.Model, trainSets []*data.Dataset) ([]float64, *metrics.Series, error) {
+	eng, err := c.Engine(w0, cfg, evalModel, trainSets)
+	if err != nil {
 		return nil, nil, err
 	}
-	if cfg.EvalEvery == 0 {
-		cfg.EvalEvery = 1
+	series, err := eng.Run(ctx)
+	if err != nil {
+		return nil, series, err
 	}
-	w := mathx.Clone(w0)
-	series := &metrics.Series{Name: cfg.Name}
-	measure := func(round int) {
-		p := metrics.Point{Round: round, TestAcc: math.NaN()}
-		if evalModel != nil && trainSets != nil {
-			for i, ds := range trainSets {
-				p.TrainLoss += c.weights[i] * evalModel.Loss(w, ds, nil)
-			}
-		}
-		if cfg.Test != nil && evalModel != nil {
-			if cl, ok := evalModel.(models.Classifier); ok {
-				p.TestAcc = models.Accuracy(cl, w, cfg.Test)
-			}
-		}
-		series.Append(p)
+	return mathx.Clone(eng.Global()), series, nil
+}
+
+// Engine builds a ready-to-run engine over this coordinator's workers:
+// Train in pieces, for callers that want hooks or checkpointing.
+func (c *Coordinator) Engine(w0 []float64, cfg core.Config, evalModel models.Model, trainSets []*data.Dataset) (*engine.Engine, error) {
+	eng, err := engine.New(cfg, len(w0), c.weights, c.Executor(cfg.Local))
+	if err != nil {
+		return nil, err
 	}
-	measure(0)
-	for t := 1; t <= cfg.Rounds; t++ {
-		locals, err := c.Round(t, w, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		mathx.Zero(w)
-		for i, local := range locals {
-			mathx.Axpy(c.weights[i], local, w)
-		}
-		if t%cfg.EvalEvery == 0 || t == cfg.Rounds {
-			measure(t)
-		}
+	eng.SetGlobal(w0)
+	if evalModel != nil {
+		eng.SetEvaluator(&engine.Evaluator{
+			Model:   evalModel,
+			Clients: trainSets,
+			Weights: c.weights,
+			Test:    cfg.Test,
+		})
 	}
-	return w, series, nil
+	return eng, nil
 }
 
 // Shutdown tells every worker to exit cleanly.

@@ -67,6 +67,7 @@ func (w *Worker) Serve() error {
 			}()
 			local := w.device.RunRound(req.AnchorVec(), req.Local)
 			rep.Local, rep.Local32 = quantize(req.Codec, local)
+			rep.GradEvals = int(w.device.GradEvals())
 		}()
 		if err := w.enc.Encode(&rep); err != nil {
 			return protocolError("send", err)
