@@ -1,20 +1,26 @@
 GO ?= go
 
+# Transport fault-injection tests drive real TCP rounds; the timeout guard
+# makes a hung test (e.g. a worker that never replies) fail fast instead of
+# wedging CI at the default 10-minute package deadline.
+TESTFLAGS ?= -timeout 120s
+
 .PHONY: build test vet race check bench
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
 
 # race runs the full suite under the race detector — the parallel executor
-# and the TCP coordinator are the packages that exercise real concurrency.
+# and the TCP coordinator (including the transport fault-injection and
+# rejoin tests) are the packages that exercise real concurrency.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $(TESTFLAGS) ./...
 
 # check is the CI gate: static analysis plus the race-enabled suite.
 check: vet race

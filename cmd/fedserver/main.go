@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"fedproxvr/internal/clisetup"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/transport"
 )
 
@@ -39,6 +41,10 @@ func main() {
 		dropout  = flag.Float64("dropout", 0, "per-round simulated report-failure probability")
 		seed     = flag.Int64("seed", 2020, "shared experiment seed")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message network timeout")
+		retries  = flag.Int("retries", 1, "per-round retries for a worker's application-level failure")
+		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before each retry")
+		quorum   = flag.Int("quorum", 1, "minimum workers that must report, or the round is skipped")
+		maxSkip  = flag.Int("max-failed-rounds", 3, "consecutive sub-quorum rounds tolerated before aborting")
 	)
 	flag.Parse()
 
@@ -62,13 +68,33 @@ func main() {
 	}
 	defer coord.Close()
 	fmt.Printf("fedserver: all workers connected (weights %v)\n", coord.Weights())
+	coord.SetFaultPolicy(transport.FaultPolicy{
+		MaxRetries:      *retries,
+		RetryBackoff:    *backoff,
+		MinParticipants: *quorum,
+		MaxFailedRounds: *maxSkip,
+	})
+	coord.SetFaultHandler(func(id int, err error) {
+		fmt.Fprintf(os.Stderr, "fedserver: worker %d dropped from the round: %v (it may rejoin between rounds)\n", id, err)
+	})
 
 	w0 := make([]float64, task.Model.Dim())
 	if task.InitW != nil {
 		copy(w0, task.InitW)
 	}
+	eng, err := coord.Engine(w0, cfg, task.Model, task.Part.Clients)
+	if err != nil {
+		fatal(err)
+	}
+	eng.OnRound(func(info engine.RoundInfo) error {
+		if info.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "fedserver: round %d: %d/%d workers reported (%d failed)\n",
+				info.Round, len(info.Participants), len(info.Participants)+info.Failed, info.Failed)
+		}
+		return nil
+	})
 	start := time.Now()
-	_, series, err := coord.Train(w0, cfg, task.Model, task.Part.Clients)
+	series, err := eng.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}
@@ -77,8 +103,9 @@ func main() {
 		fatal(err)
 	}
 	last, _ := series.Last()
-	fmt.Fprintf(os.Stderr, "fedserver: %d rounds in %s, final loss %.4f, acc %.2f%%\n",
-		*rounds, time.Since(start).Round(time.Millisecond), last.TrainLoss, last.TestAcc*100)
+	fmt.Fprintf(os.Stderr, "fedserver: %d rounds in %s, final loss %.4f, acc %.2f%%, %d participants last round, %d failures total\n",
+		*rounds, time.Since(start).Round(time.Millisecond), last.TrainLoss, last.TestAcc*100,
+		last.Participants, series.TotalFailed())
 }
 
 func fatal(err error) {

@@ -107,6 +107,10 @@ func main() {
 	last, _ := series.Last()
 	fmt.Fprintf(os.Stderr, "%s: final loss %.4f, test acc %.2f%% after %d rounds\n",
 		cfg.Name, last.TrainLoss, last.TestAcc*100, last.Round)
+	if failed := series.TotalFailed(); failed > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d device report failures across the run; last round aggregated %d participants\n",
+			cfg.Name, failed, last.Participants)
+	}
 }
 
 func fatal(err error) {

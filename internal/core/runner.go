@@ -90,7 +90,7 @@ func (r *Runner) SetGlobal(w []float64) { r.eng.SetGlobal(w) }
 // of participating device IDs (after failure injection). If every device
 // drops out, the global model is left unchanged.
 func (r *Runner) Step() []int {
-	selected, err := r.eng.Step()
+	selected, _, err := r.eng.Step()
 	if err != nil {
 		// In-process executors cannot fail and partitions carry positive
 		// weights, so this is unreachable outside programmer error.

@@ -28,13 +28,13 @@ func BenchmarkEngineRoundAllocs(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := eng.Step(); err != nil { // warm the reusable buffers
+	if _, _, err := eng.Step(); err != nil { // warm the reusable buffers
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Step(); err != nil {
+		if _, _, err := eng.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,13 +56,13 @@ func BenchmarkSequentialRoundAllocs(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := eng.Step(); err != nil {
+	if _, _, err := eng.Step(); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Step(); err != nil {
+		if _, _, err := eng.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -182,6 +182,184 @@ func TestBackendConformance(t *testing.T) {
 	}
 }
 
+// failAfterExec decorates an executor with a deterministic fault schedule:
+// from round after+1 on, device victim fails (nil partial result) without
+// running its solve — the in-process equivalent of a TCP worker that
+// crashed after round `after` and never reports again.
+type failAfterExec struct {
+	inner  engine.Executor
+	after  int
+	victim int
+	round  int
+	sub    []int
+}
+
+func (f *failAfterExec) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	f.round++
+	if f.round <= f.after {
+		return f.inner.RunClients(anchor, selected)
+	}
+	f.sub = f.sub[:0]
+	pos := -1
+	for i, id := range selected {
+		if id == f.victim {
+			pos = i
+			continue
+		}
+		f.sub = append(f.sub, id)
+	}
+	locals, err := f.inner.RunClients(anchor, f.sub)
+	if err != nil || pos < 0 {
+		return locals, err
+	}
+	out := make([][]float64, len(selected))
+	j := 0
+	for i := range selected {
+		if i == pos {
+			continue
+		}
+		out[i] = locals[j]
+		j++
+	}
+	return out, nil
+}
+
+func (f *failAfterExec) GradEvals() int64 { return f.inner.(engine.EvalCounter).GradEvals() }
+
+// TestTCPWorkerFailureMatchesDropoutSchedule is the fault-tolerance
+// conformance gate: a TCP run whose worker is killed mid-training must
+// complete all configured rounds and produce a global model bit-identical
+// to an in-process run with the equivalent dropout schedule (the victim
+// stops reporting — and computing — after the same round).
+func TestTCPWorkerFailureMatchesDropoutSchedule(t *testing.T) {
+	p := testPartition(4, 30, 3, 3, 1)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.Rounds = 8
+	const killAfter, victim = 3, 2
+
+	// In-process reference with the equivalent dropout schedule.
+	want, wantSeries := runBackend(t, cfg, p, m, func(d []*engine.Device) engine.Executor {
+		return &failAfterExec{inner: engine.NewSequential(d, cfg.Local), after: killAfter, victim: victim}
+	})
+
+	// TCP run: the victim worker's connection is killed after round
+	// killAfter, mid-training, via an engine hook.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	n := len(p.Clients)
+	workers := make([]*transport.Worker, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		w, err := transport.NewWorker(addr, k, p.Clients[k], m, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[k] = w
+		wg.Add(1)
+		go func(w *transport.Worker, k int) {
+			defer wg.Done()
+			if err := w.Serve(); err != nil {
+				t.Errorf("worker %d serve: %v", k, err)
+			}
+		}(w, k)
+	}
+	c, err := transport.NewCoordinatorOn(ln, n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	eng, err := engine.New(cfg, m.Dim(), c.Weights(), c.Executor(cfg.Local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.OnRound(func(info engine.RoundInfo) error {
+		if info.Round == killAfter {
+			workers[victim].Close()
+		}
+		return nil
+	})
+	s, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("killed worker must not abort the run: %v", err)
+	}
+	got := mathx.Clone(eng.Global())
+	c.Shutdown()
+	wg.Wait()
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("global model differs from dropout-equivalent run at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if len(s.Points) != len(wantSeries.Points) {
+		t.Fatalf("series length %d, want %d", len(s.Points), len(wantSeries.Points))
+	}
+	for i, gp := range s.Points {
+		wp := wantSeries.Points[i]
+		if gp.Participants != wp.Participants || gp.Failed != wp.Failed || gp.GradEvals != wp.GradEvals {
+			t.Fatalf("point %d: participants/failed/evals %d/%d/%d, want %d/%d/%d",
+				i, gp.Participants, gp.Failed, gp.GradEvals, wp.Participants, wp.Failed, wp.GradEvals)
+		}
+	}
+	last := s.Points[len(s.Points)-1]
+	if last.Round != cfg.Rounds || last.Failed != 1 || last.Participants != len(p.Clients)-1 {
+		t.Fatalf("final point %+v: want round %d with %d participants and 1 failure",
+			last, cfg.Rounds, len(p.Clients)-1)
+	}
+}
+
+// TestHookParticipantsRetainable: RoundInfo.Participants must be safe for
+// hooks to retain — the historical implementation aliased the engine's
+// selection buffer, which the next round overwrites in place.
+func TestHookParticipantsRetainable(t *testing.T) {
+	p := testPartition(6, 20, 3, 3, 5)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["partial"] // cohorts vary round to round
+	cfg.Rounds = 8
+
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), engine.NewSequential(newDevices(p, m, cfg.Seed), cfg.Local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := make(map[int][]int)
+	copies := make(map[int][]int)
+	eng.OnRound(func(info engine.RoundInfo) error {
+		retained[info.Round] = info.Participants
+		copies[info.Round] = append([]int(nil), info.Participants...)
+		return nil
+	})
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	distinct := false
+	for r, want := range copies {
+		got := retained[r]
+		if len(got) != len(want) {
+			t.Fatalf("round %d: retained slice resized to %v, want %v", r, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: retained participants corrupted: %v, want %v", r, got, want)
+			}
+		}
+		for r2, other := range copies {
+			if r2 != r && len(other) > 0 && len(want) > 0 && &retained[r][0] == &retained[r2][0] {
+				t.Fatalf("rounds %d and %d share a participants buffer", r, r2)
+			}
+		}
+		if len(want) > 0 {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("no round had participants — the test is vacuous")
+	}
+}
+
 // TestSecureAggregationEndToEnd trains through the engine with the
 // pairwise-masking aggregator and checks the trajectory matches plain
 // weighted-mean training up to mask-cancellation rounding: the server never

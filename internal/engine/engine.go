@@ -17,8 +17,14 @@ type RoundInfo struct {
 	// Round is the just-completed global iteration (1-based).
 	Round int
 	// Participants are the device IDs that reported this round (after
-	// dropout injection); empty when every selected device dropped.
+	// dropout injection and executor-reported failures); empty when every
+	// selected device dropped. The slice is owned by the hook invocation —
+	// it stays valid after the round, so hooks may retain it.
 	Participants []int
+	// Failed counts the selected devices whose executor run failed this
+	// round (locals[i] == nil partial results — e.g. a crashed TCP worker).
+	// Devices removed by the engine's own dropout injection do not count.
+	Failed int
 	// Global aliases the current global model — copy before mutating.
 	Global []float64
 	// Series is the series Run is building (points appended so far,
@@ -132,23 +138,42 @@ func (e *Engine) OnRound(h Hook) func() {
 
 // Step performs one global iteration: broadcast, local solve on the
 // selected devices, weighted aggregation. It returns the participating
-// device IDs (after failure injection); if every device drops out the
-// global model is left unchanged.
-func (e *Engine) Step() ([]int, error) {
+// device IDs (after failure injection and executor-reported failures) and
+// the number of selected devices whose run failed; if every device drops
+// out the global model is left unchanged. The returned slice aliases an
+// engine buffer and is only valid until the next Step.
+func (e *Engine) Step() ([]int, int, error) {
 	e.round++
 	e.selBuf = SelectClients(e.server, len(e.weights), e.cfg.ClientFraction, e.selBuf)
 	selected := Dropout(e.server, e.selBuf, e.cfg.DropoutProb)
 	if len(selected) == 0 {
-		return selected, nil
+		return selected, 0, nil
 	}
 	locals, err := e.exec.RunClients(e.w, selected)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	// Fold executor-reported failures (locals[i] == nil ⇒ selected[i]
+	// failed) out of the cohort: the round aggregates the survivors, the
+	// same way dropout injection does. Both slices are round-owned, so the
+	// in-place compaction is safe.
+	k := 0
+	for i, l := range locals {
+		if l == nil {
+			continue
+		}
+		selected[k], locals[k] = selected[i], l
+		k++
+	}
+	failed := len(selected) - k
+	selected, locals = selected[:k], locals[:k]
+	if k == 0 {
+		return selected, failed, nil
 	}
 	if err := e.agg.Aggregate(e.w, selected, locals); err != nil {
-		return nil, err
+		return nil, failed, err
 	}
-	return selected, nil
+	return selected, failed, nil
 }
 
 // Run executes the remaining global iterations (Rounds minus completed),
@@ -166,16 +191,20 @@ func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
 		if err := ctx.Err(); err != nil {
 			return s, err
 		}
-		sel, err := e.Step()
+		sel, failed, err := e.Step()
 		if err != nil {
 			return s, err
 		}
 		t := e.round
 		if t%e.cfg.EvalEvery == 0 || t == e.cfg.Rounds {
-			s.Append(e.measure(t))
+			p := e.measure(t)
+			p.Participants, p.Failed = len(sel), failed
+			s.Append(p)
 		}
 		if len(e.hooks) > 0 {
-			info := RoundInfo{Round: t, Participants: sel, Global: e.w, Series: s}
+			// Hooks get a stable copy: sel aliases the engine's selection
+			// buffer, which the next round overwrites in place.
+			info := RoundInfo{Round: t, Participants: append([]int(nil), sel...), Failed: failed, Global: e.w, Series: s}
 			for _, h := range e.hooks {
 				if h == nil {
 					continue

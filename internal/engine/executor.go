@@ -49,10 +49,21 @@ func (d *Device) GradEvals() int64 { return d.gradEvals }
 
 // Executor runs the selected devices' local solves from the anchor and
 // returns their reported models, locals[i] belonging to selected[i]. The
-// returned slices are valid until the next RunClients call. Implementations
-// are the four backends: Sequential, Parallel (in-process), the
-// simulated-clock fleet (internal/simnet.TimedExecutor) and the TCP
-// coordinator (internal/transport.Executor).
+// returned slices are valid until the next RunClients call.
+//
+// The contract tolerates partial results: locals[i] == nil means device
+// selected[i] failed this round (crashed worker, network fault). The
+// engine folds failed devices out of the cohort before aggregation,
+// exactly as if they had been removed by dropout injection — a per-device
+// failure degrades the round, it does not abort the run. A non-nil error
+// is reserved for run-fatal conditions (every worker dead, quorum
+// exhausted), and does abort.
+//
+// Implementations are the four backends: Sequential, Parallel
+// (in-process; never fail a device), the simulated-clock fleet
+// (internal/simnet.TimedExecutor, which forwards its inner executor's
+// partial results) and the TCP coordinator (internal/transport.Executor,
+// which converts per-worker faults into nil entries).
 type Executor interface {
 	RunClients(anchor []float64, selected []int) ([][]float64, error)
 }

@@ -13,11 +13,13 @@ import (
 
 // Point is one global round's measurements.
 type Point struct {
-	Round      int
-	TrainLoss  float64
-	TestAcc    float64 // fraction in [0,1]; NaN if no test set
-	GradNormSq float64 // ‖∇F̄(w̄^(s))‖² — the stationarity gap of eq. (12)
-	GradEvals  int64   // cumulative gradient evaluations across devices
+	Round        int
+	TrainLoss    float64
+	TestAcc      float64 // fraction in [0,1]; NaN if no test set
+	GradNormSq   float64 // ‖∇F̄(w̄^(s))‖² — the stationarity gap of eq. (12)
+	GradEvals    int64   // cumulative gradient evaluations across devices
+	Participants int     // devices that reported this round (0 for the round-0 point)
+	Failed       int     // selected devices whose round failed (crash, network fault)
 }
 
 // Series is a named sequence of round measurements for one algorithm run.
@@ -87,17 +89,29 @@ func (s *Series) MeanGradNormSq() float64 {
 	return sum / float64(len(s.Points))
 }
 
-// WriteCSV emits "round,train_loss,test_acc,grad_norm_sq,grad_evals" rows.
+// TotalFailed sums the per-round failure counts over the measured points
+// (with EvalEvery > 1 only evaluated rounds contribute).
+func (s *Series) TotalFailed() int {
+	var n int
+	for _, p := range s.Points {
+		n += p.Failed
+	}
+	return n
+}
+
+// WriteCSV emits
+// "round,train_loss,test_acc,grad_norm_sq,grad_evals,participants,failed"
+// rows.
 func (s *Series) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# series: %s\n", s.Name); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "round,train_loss,test_acc,grad_norm_sq,grad_evals"); err != nil {
+	if _, err := fmt.Fprintln(w, "round,train_loss,test_acc,grad_norm_sq,grad_evals,participants,failed"); err != nil {
 		return err
 	}
 	for _, p := range s.Points {
-		if _, err := fmt.Fprintf(w, "%d,%.8g,%.6g,%.8g,%d\n",
-			p.Round, p.TrainLoss, p.TestAcc, p.GradNormSq, p.GradEvals); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%.8g,%.6g,%.8g,%d,%d,%d\n",
+			p.Round, p.TrainLoss, p.TestAcc, p.GradNormSq, p.GradEvals, p.Participants, p.Failed); err != nil {
 			return err
 		}
 	}

@@ -61,6 +61,7 @@ type TimedExecutor struct {
 	fleet *Fleet
 	tau   int
 	now   float64
+	part  []int // reporting subset scratch (partial-result rounds)
 }
 
 // NewTimedExecutor wraps inner with fleet timing for τ local iterations
@@ -69,13 +70,23 @@ func NewTimedExecutor(inner engine.Executor, fleet *Fleet, tau int) *TimedExecut
 	return &TimedExecutor{inner: inner, fleet: fleet, tau: tau}
 }
 
-// RunClients implements engine.Executor.
+// RunClients implements engine.Executor. Partial results from the inner
+// executor (locals[i] == nil) are forwarded, and only devices that actually
+// reported are charged to the synchronous round clock — a device that
+// failed mid-round contributes no completed compute + uplink to the
+// straggler max.
 func (x *TimedExecutor) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	locals, err := x.inner.RunClients(anchor, selected)
 	if err != nil {
 		return nil, err
 	}
-	x.now += x.fleet.RoundTime(selected, x.tau)
+	x.part = x.part[:0]
+	for i, l := range locals {
+		if l != nil {
+			x.part = append(x.part, selected[i])
+		}
+	}
+	x.now += x.fleet.RoundTime(x.part, x.tau)
 	return locals, nil
 }
 

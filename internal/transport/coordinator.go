@@ -18,34 +18,96 @@ import (
 	"fedproxvr/internal/optim"
 )
 
-// clientConn is one connected worker.
+// clientConn is one connected worker. dead marks a connection the
+// coordinator tore down after a network-level fault; a dead worker is
+// skipped (counted as a dropout) until a replacement rejoins. dead is
+// written only while holding the coordinator's mu (readers off the main
+// goroutine — the rejoin accept loop — also take mu).
 type clientConn struct {
 	id      int
 	samples int
 	conn    *countingConn
 	enc     *gob.Encoder
 	dec     *gob.Decoder
+	dead    bool
+}
+
+// FaultPolicy governs how the coordinator degrades when workers fail
+// mid-round instead of aborting the run (the paper's partial-participation
+// model: a round aggregates whichever devices report).
+type FaultPolicy struct {
+	// MaxRetries re-sends a round request to a worker that returned an
+	// application-level error (worker-side panic, wrong-round reply) this
+	// many times before counting it out of the round. Network-level
+	// failures (dial reset, decode error, deadline exceeded) are never
+	// retried: a gob stream cannot be resynchronized after a partial
+	// message, so the connection is torn down and the worker may rejoin
+	// between rounds with a fresh Hello.
+	MaxRetries int
+	// RetryBackoff is the pause before each retry.
+	RetryBackoff time.Duration
+	// MinParticipants is the quorum floor: when fewer workers report, the
+	// round is skipped (survivor results are discarded and the global
+	// model is left unchanged) rather than aggregating a tiny cohort.
+	MinParticipants int
+	// MaxFailedRounds aborts the run after this many consecutive skipped
+	// rounds. A fully-dead cohort (every connection torn down) aborts
+	// immediately regardless.
+	MaxFailedRounds int
+}
+
+// DefaultFaultPolicy is the policy installed by NewCoordinator: one retry
+// per worker per round, a quorum of one, and tolerance for three
+// consecutive empty rounds.
+func DefaultFaultPolicy() FaultPolicy {
+	return FaultPolicy{MaxRetries: 1, RetryBackoff: 50 * time.Millisecond, MinParticipants: 1, MaxFailedRounds: 3}
 }
 
 // Coordinator is the server side of the distributed runtime. It owns the
 // listener, the connected workers, and the wire protocol; the outer loop
 // (selection, dropout, aggregation) is the engine's, reached through
-// Executor.
+// Executor. Per-worker faults degrade rounds instead of aborting them —
+// see FaultPolicy and roundSubset.
 type Coordinator struct {
 	ln      net.Listener
-	clients []*clientConn
+	clients []*clientConn // index == client ID after construction
 	weights []float64
 	timeout time.Duration
 	codec   Codec
+	fault   FaultPolicy
+	onFault func(clientID int, err error)
+
+	mu           sync.Mutex          // guards pending, dead flags cross-goroutine, retired counters
+	pending      map[int]*clientConn // rejoined workers awaiting adoption at the next round
+	retiredSent  int64               // bandwidth of replaced connections
+	retiredRecv  int64
+	skippedRound int // consecutive rounds below the quorum floor
 }
 
 // SetCodec selects the wire codec for subsequent rounds (default
 // CodecFloat64). Safe to change between rounds, not during one.
 func (c *Coordinator) SetCodec(codec Codec) { c.codec = codec }
 
+// SetFaultPolicy replaces the fault-handling knobs (default
+// DefaultFaultPolicy). Safe to change between rounds, not during one.
+func (c *Coordinator) SetFaultPolicy(p FaultPolicy) {
+	if p.MinParticipants < 1 {
+		p.MinParticipants = 1
+	}
+	c.fault = p
+}
+
+// SetFaultHandler installs an observer called once per worker failure
+// (after the round's fan-out has finished, on the coordinator goroutine)
+// with the client ID and the error that took it out of the round.
+func (c *Coordinator) SetFaultHandler(f func(clientID int, err error)) { c.onFault = f }
+
 // Bandwidth returns the total bytes sent to and received from all workers
-// so far.
+// so far, including connections since replaced through the rejoin path.
 func (c *Coordinator) Bandwidth() (sent, received int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sent, received = c.retiredSent, c.retiredRecv
 	for _, cc := range c.clients {
 		sent += cc.conn.BytesSent()
 		received += cc.conn.BytesReceived()
@@ -74,7 +136,12 @@ func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*
 		ln.Close()
 		return nil, fmt.Errorf("transport: need at least one client")
 	}
-	c := &Coordinator{ln: ln, timeout: timeout}
+	c := &Coordinator{
+		ln:      ln,
+		timeout: timeout,
+		fault:   DefaultFaultPolicy(),
+		pending: make(map[int]*clientConn),
+	}
 	seen := make(map[int]bool)
 	for len(c.clients) < numClients {
 		conn, err := ln.Accept()
@@ -109,11 +176,106 @@ func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*
 	for _, cc := range c.clients {
 		total += cc.samples
 	}
+	if total <= 0 {
+		// An all-empty cohort would yield 0/0 = NaN aggregation weights
+		// that silently poison the global model.
+		c.Close()
+		return nil, fmt.Errorf("transport: cohort reported no training samples (total %d)", total)
+	}
 	c.weights = make([]float64, numClients)
 	for i, cc := range c.clients {
 		c.weights[i] = float64(cc.samples) / float64(total)
 	}
+	// From here the listener serves the rejoin path: a restarted worker
+	// re-Hellos with its old client ID and is adopted at the next round.
+	go c.acceptLoop()
 	return c, nil
+}
+
+// acceptLoop serves post-construction connections: restarted workers
+// re-performing the Hello handshake. It exits when the listener closes.
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handleRejoin(conn)
+	}
+}
+
+// handleRejoin validates a rejoin Hello and parks the connection for
+// adoption at the next round boundary. The replacement must present the ID
+// of a currently-dead worker and the same shard size (the aggregation
+// weights were fixed at construction); anything else is rejected by
+// closing the connection.
+func (c *Coordinator) handleRejoin(conn net.Conn) {
+	counted := newCountingConn(conn)
+	cc := &clientConn{conn: counted, enc: gob.NewEncoder(counted), dec: gob.NewDecoder(counted)}
+	if c.timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	var hello Hello
+	if err := cc.dec.Decode(&hello); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hello.ClientID < 0 || hello.ClientID >= len(c.clients) {
+		conn.Close()
+		return
+	}
+	old := c.clients[hello.ClientID]
+	if !old.dead || hello.NumSamples != old.samples {
+		conn.Close()
+		return
+	}
+	cc.id, cc.samples = hello.ClientID, hello.NumSamples
+	if prev, ok := c.pending[cc.id]; ok {
+		prev.conn.Close()
+	}
+	c.pending[cc.id] = cc
+}
+
+// adoptRejoined swaps pending replacement connections into the cohort.
+// Called on the coordinator goroutine at each round boundary, so a round
+// never observes a connection swap mid-flight.
+func (c *Coordinator) adoptRejoined() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, cc := range c.pending {
+		old := c.clients[id]
+		c.retiredSent += old.conn.BytesSent()
+		c.retiredRecv += old.conn.BytesReceived()
+		c.clients[id] = cc
+		delete(c.pending, id)
+	}
+}
+
+// AwaitRejoin blocks until a replacement connection for client id is live
+// or pending adoption, polling until timeout. It is a convenience for
+// tests and operational tooling; training itself never waits — a rejoined
+// worker is simply picked up at the next round.
+func (c *Coordinator) AwaitRejoin(id int, timeout time.Duration) error {
+	if id < 0 || id >= len(c.clients) {
+		return fmt.Errorf("transport: no client %d", id)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		_, queued := c.pending[id]
+		ok := queued || !c.clients[id].dead
+		c.mu.Unlock()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: client %d did not rejoin within %v", id, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Addr returns the listener address (useful with ":0").
@@ -122,75 +284,179 @@ func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
 // Weights returns the aggregation weights D_n/D gathered from the Hellos.
 func (c *Coordinator) Weights() []float64 { return c.weights }
 
-// Round broadcasts the anchor to every worker, gathers all local models,
-// and returns them indexed by client ID.
+// Round broadcasts the anchor to every worker, gathers the local models,
+// and returns them indexed by client ID. A worker that failed the round
+// leaves a nil entry; the error is non-nil only for run-fatal conditions
+// (every worker dead, quorum floor violated too many rounds in a row).
 func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][]float64, error) {
 	all := make([]int, len(c.clients))
 	for i := range all {
 		all[i] = i
 	}
 	locals := make([][]float64, len(c.clients))
-	if err := c.roundSubset(round, anchor, local.Local, all, locals, nil); err != nil {
+	if _, err := c.roundSubset(round, anchor, local.Local, all, locals, nil); err != nil {
 		return nil, err
 	}
 	return locals, nil
 }
 
+// errWorkerDown marks a worker skipped because its connection was already
+// torn down in an earlier round (it counts as a dropout, not a new fault).
+var errWorkerDown = fmt.Errorf("transport: worker connection is down")
+
 // roundSubset runs one round against the selected workers only (partial
-// participation), filling locals[i] with selected[i]'s reported model and,
-// when evals is non-nil, evals[id] with that worker's cumulative gradient
-// evaluations.
-func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.LocalConfig, selected []int, locals [][]float64, evals []int64) error {
+// participation), filling locals[i] with selected[i]'s reported model —
+// nil when that worker failed the round — and, when evals is non-nil,
+// evals[id] with that worker's cumulative gradient evaluations.
+//
+// Per-worker faults are converted into dropouts: application-level errors
+// are retried per FaultPolicy, network-level errors tear the connection
+// down (the worker may rejoin between rounds), and the survivors are
+// returned. The returned error is non-nil only when the run cannot
+// continue: the whole cohort is dead, or fewer than MinParticipants
+// reported for more than MaxFailedRounds consecutive rounds.
+func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.LocalConfig, selected []int, locals [][]float64, evals []int64) (failed int, err error) {
+	c.adoptRejoined()
 	a64, a32 := quantize(c.codec, anchor)
 	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local}
 	errs := make([]error, len(selected))
 	var wg sync.WaitGroup
 	for i, id := range selected {
 		cc := c.clients[id]
+		locals[i] = nil
+		if cc.dead {
+			errs[i] = errWorkerDown
+			continue
+		}
 		wg.Add(1)
 		go func(i int, cc *clientConn) {
 			defer wg.Done()
-			if c.timeout > 0 {
-				cc.conn.SetDeadline(time.Now().Add(c.timeout))
-			}
-			if err := cc.enc.Encode(&req); err != nil {
-				errs[i] = protocolError(fmt.Sprintf("send to client %d", cc.id), err)
-				return
-			}
-			var rep RoundReply
-			if err := cc.dec.Decode(&rep); err != nil {
-				errs[i] = protocolError(fmt.Sprintf("recv from client %d", cc.id), err)
-				return
-			}
-			cc.conn.SetDeadline(time.Time{})
-			if rep.Err != "" {
-				errs[i] = fmt.Errorf("transport: client %d: %s", cc.id, rep.Err)
-				return
-			}
-			if rep.Round != round {
-				errs[i] = fmt.Errorf("transport: client %d replied for round %d, want %d",
-					cc.id, rep.Round, round)
-				return
-			}
-			vec := rep.LocalVec()
-			if len(vec) != len(anchor) {
-				errs[i] = fmt.Errorf("transport: client %d sent %d params, want %d",
-					cc.id, len(vec), len(anchor))
-				return
-			}
-			locals[i] = vec
-			if evals != nil {
-				evals[cc.id] = int64(rep.GradEvals)
-			}
+			locals[i], errs[i] = c.askWorker(cc, round, &req, len(anchor), evals)
 		}(i, cc)
 	}
 	wg.Wait()
+	reported := 0
+	for i, werr := range errs {
+		if werr == nil {
+			reported++
+			continue
+		}
+		failed++
+		cc := c.clients[selected[i]]
+		if !cc.dead && werr != errWorkerDown {
+			// The gob stream is unusable after a failed exchange: tear the
+			// connection down. The worker rejoins with a fresh Hello.
+			cc.conn.Close()
+			c.mu.Lock()
+			cc.dead = true
+			c.mu.Unlock()
+		}
+		if c.onFault != nil && werr != errWorkerDown {
+			c.onFault(cc.id, werr)
+		}
+	}
+	if c.liveWorkers() == 0 {
+		return failed, fmt.Errorf("transport: round %d: every worker is dead (last error: %w)", round, firstError(errs))
+	}
+	if reported < c.fault.MinParticipants {
+		// Below quorum: discard the round (survivor results included) so
+		// the engine leaves the global model unchanged.
+		for i := range selected {
+			locals[i] = nil
+		}
+		failed = len(selected)
+		c.skippedRound++
+		if c.skippedRound > c.fault.MaxFailedRounds {
+			return failed, fmt.Errorf("transport: %d consecutive rounds below the %d-participant quorum (last error: %w)",
+				c.skippedRound, c.fault.MinParticipants, firstError(errs))
+		}
+		return failed, nil
+	}
+	c.skippedRound = 0
+	return failed, nil
+}
+
+// askWorker performs one worker's round exchange with bounded retry.
+func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) ([]float64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.fault.MaxRetries; attempt++ {
+		if attempt > 0 && c.fault.RetryBackoff > 0 {
+			time.Sleep(c.fault.RetryBackoff)
+		}
+		vec, err, retriable := c.exchange(cc, round, req, dim, evals)
+		if err == nil {
+			return vec, nil
+		}
+		lastErr = err
+		if !retriable {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// exchange is a single request/reply attempt. retriable distinguishes
+// application-level failures (worker panic, wrong-round reply — the stream
+// is still framed, so a resend can succeed) from network-level ones (the
+// gob stream is torn; the caller must drop the connection).
+func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) (vec []float64, err error, retriable bool) {
+	if c.timeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(c.timeout))
+		// Clear the absolute deadline on every exit path: a deadline left
+		// armed after an error would spuriously time out the next round.
+		defer cc.conn.SetDeadline(time.Time{})
+	}
+	if err := cc.enc.Encode(req); err != nil {
+		return nil, protocolError(fmt.Sprintf("send to client %d", cc.id), err), false
+	}
+	var rep RoundReply
+	if err := cc.dec.Decode(&rep); err != nil {
+		return nil, protocolError(fmt.Sprintf("recv from client %d", cc.id), err), false
+	}
+	if rep.Err != "" {
+		return nil, fmt.Errorf("transport: client %d: %s", cc.id, rep.Err), true
+	}
+	if rep.Round != round {
+		return nil, fmt.Errorf("transport: client %d replied for round %d, want %d",
+			cc.id, rep.Round, round), true
+	}
+	vec = rep.LocalVec()
+	if len(vec) != dim {
+		return nil, fmt.Errorf("transport: client %d sent %d params, want %d",
+			cc.id, len(vec), dim), true
+	}
+	if evals != nil {
+		evals[cc.id] = rep.GradEvals
+	}
+	return vec, nil, false
+}
+
+// liveWorkers counts the connections not torn down (pending rejoins count:
+// they become live at the next round boundary).
+func (c *Coordinator) liveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.pending)
+	for _, cc := range c.clients {
+		if !cc.dead {
+			n++
+		}
+	}
+	return n
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil && err != errWorkerDown {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return fmt.Errorf("no worker error recorded")
 }
 
 // Executor adapts the coordinator to the engine's Executor interface: each
@@ -211,14 +477,17 @@ func (c *Coordinator) Executor(local optim.LocalConfig) *Executor {
 	return &Executor{c: c, local: local, evals: make([]int64, len(c.clients))}
 }
 
-// RunClients implements engine.Executor.
+// RunClients implements engine.Executor, including its partial-result
+// contract: out[i] == nil means worker selected[i] failed the round and
+// the engine aggregates the survivors. The error is non-nil only when the
+// run cannot continue (dead cohort, exhausted quorum).
 func (x *Executor) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	x.round++
 	if cap(x.buf) < len(selected) {
 		x.buf = make([][]float64, len(selected))
 	}
 	out := x.buf[:len(selected)]
-	if err := x.c.roundSubset(x.round, anchor, x.local, selected, out, x.evals); err != nil {
+	if _, err := x.c.roundSubset(x.round, anchor, x.local, selected, out, x.evals); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -276,18 +545,31 @@ func (c *Coordinator) Engine(w0 []float64, cfg core.Config, evalModel models.Mod
 	return eng, nil
 }
 
-// Shutdown tells every worker to exit cleanly.
+// Shutdown tells every live worker (including pending rejoins) to exit
+// cleanly. Dead connections are skipped.
 func (c *Coordinator) Shutdown() {
+	c.adoptRejoined()
 	req := RoundRequest{Done: true}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, cc := range c.clients {
+		if cc.dead {
+			continue
+		}
 		_ = cc.enc.Encode(&req)
 	}
 }
 
-// Close shuts the listener and all connections.
+// Close shuts the listener (stopping the rejoin accept loop) and all
+// connections, pending rejoins included.
 func (c *Coordinator) Close() error {
 	err := c.ln.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, cc := range c.clients {
+		cc.conn.Close()
+	}
+	for _, cc := range c.pending {
 		cc.conn.Close()
 	}
 	return err

@@ -4,6 +4,18 @@
 // seeded exactly like the in-process simulator's, so a distributed run
 // reproduces an in-process run bit-for-bit given the same seeds — which the
 // integration tests assert.
+//
+// The runtime degrades gracefully under worker failures, matching the
+// paper's partial-participation model (a round aggregates whichever
+// devices report): a per-round worker fault — dial reset, decode error,
+// deadline exceeded, bad reply — becomes a dropout for that round rather
+// than a run-aborting error. Application-level failures are retried with
+// backoff (FaultPolicy.MaxRetries); network-level failures tear the
+// connection down, and a restarted worker rejoins between rounds by
+// re-dialing and re-sending Hello with its old client ID and shard size.
+// Only a fully-dead cohort, or more than FaultPolicy.MaxFailedRounds
+// consecutive rounds below the FaultPolicy.MinParticipants quorum floor,
+// aborts the run.
 package transport
 
 import (
@@ -35,12 +47,14 @@ type RoundRequest struct {
 func (r *RoundRequest) AnchorVec() []float64 { return dequantize(r.Anchor, r.Anchor32) }
 
 // RoundReply carries one device's local model back to the coordinator.
+// GradEvals is int64 end to end so cumulative counts survive 32-bit
+// platforms unnarrowed.
 type RoundReply struct {
 	ClientID  int
 	Round     int
 	Local     []float64
 	Local32   []float32
-	GradEvals int
+	GradEvals int64
 	Err       string // non-empty if the worker failed this round
 }
 

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"math"
 	"net"
@@ -11,6 +12,7 @@ import (
 
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/mathx"
 	"fedproxvr/internal/models"
 	"fedproxvr/internal/optim"
@@ -262,7 +264,7 @@ func TestBandwidthAccounting(t *testing.T) {
 	wg.Wait()
 }
 
-func TestCoordinatorSurfacesDeadWorker(t *testing.T) {
+func TestCoordinatorSurvivesDeadWorkerAsDropout(t *testing.T) {
 	p := testPartition(2, 10, 3, 2, 7)
 	m := models.NewSoftmax(3, 2, 0)
 	c, wg := launchTwoPhase(t, p, m, 1)
@@ -274,14 +276,187 @@ func TestCoordinatorSurfacesDeadWorker(t *testing.T) {
 	if _, _, err := c.Train(w0, cfg, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	// Kill worker 0's connection from the server side, then try a round:
-	// the coordinator must surface an error rather than hang.
+	var faults []int
+	c.SetFaultHandler(func(id int, err error) { faults = append(faults, id) })
+	// Kill worker 0's connection from the server side, then run a round:
+	// the failure must degrade into a dropout — the survivor's model is
+	// returned, worker 0's slot is nil, and no error surfaces.
 	c.clients[0].conn.Close()
-	if _, err := c.Round(99, w0, cfg); err == nil {
-		t.Fatal("round against a dead worker should error")
+	locals, err := c.Round(99, w0, cfg)
+	if err != nil {
+		t.Fatalf("round with one dead worker should degrade, got %v", err)
+	}
+	if locals[0] != nil {
+		t.Fatal("dead worker should have a nil slot")
+	}
+	if locals[1] == nil {
+		t.Fatal("surviving worker should still report")
+	}
+	if len(faults) != 1 || faults[0] != 0 {
+		t.Fatalf("fault handler saw %v, want [0]", faults)
+	}
+	// A later round skips the dead worker without a fresh fault callback.
+	locals, err = c.Round(100, w0, cfg)
+	if err != nil || locals[0] != nil || locals[1] == nil {
+		t.Fatalf("second degraded round: locals=%v err=%v", locals, err)
+	}
+	if len(faults) != 1 {
+		t.Fatalf("dead-worker skip should not re-fire the fault handler: %v", faults)
 	}
 	c.Shutdown()
 	wg.Wait()
+}
+
+// launchWithWorkers is launchTwoPhase but hands back the worker objects so
+// tests can kill and restart individual workers.
+func launchWithWorkers(t *testing.T, p *data.Partition, m models.Model, seed int64) (*Coordinator, []*Worker, *sync.WaitGroup) {
+	t.Helper()
+	n := len(p.Clients)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	workers := make([]*Worker, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		w, err := NewWorker(addr, k, p.Clients[k], m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[k] = w
+		wg.Add(1)
+		go func(w *Worker, k int) {
+			defer wg.Done()
+			if err := w.Serve(); err != nil {
+				t.Errorf("worker %d serve: %v", k, err)
+			}
+		}(w, k)
+	}
+	c, err := NewCoordinatorOn(ln, n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, workers, &wg
+}
+
+// TestWorkerRejoinAfterFailure kills worker 1 mid-run, restarts it a few
+// rounds later, and asserts the run finishes all rounds with the rejoined
+// worker participating again.
+func TestWorkerRejoinAfterFailure(t *testing.T) {
+	p := testPartition(2, 12, 3, 2, 9)
+	m := models.NewSoftmax(3, 2, 0)
+	seed := int64(21)
+	c, workers, wg := launchWithWorkers(t, p, m, seed)
+	defer c.Close()
+	addr := c.Addr().String()
+
+	cfg := core.FedAvg(5, 1, 4, 2, 8)
+	cfg.Seed = seed
+	w0 := make([]float64, m.Dim())
+	eng, err := c.Engine(w0, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	participants := make(map[int][]int)
+	var rwg sync.WaitGroup
+	eng.OnRound(func(info engine.RoundInfo) error {
+		participants[info.Round] = info.Participants
+		switch info.Round {
+		case 2:
+			workers[1].Close()
+		case 5:
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				w, err := NewWorker(addr, 1, p.Clients[1], m, seed)
+				if err != nil {
+					t.Errorf("rejoin: %v", err)
+					return
+				}
+				if err := w.Serve(); err != nil {
+					t.Errorf("rejoined worker serve: %v", err)
+				}
+			}()
+			if err := c.AwaitRejoin(1, 5*time.Second); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatalf("run with a rejoining worker should complete: %v", err)
+	}
+	if got := participants[4]; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("round 4 should see only the survivor, got %v", got)
+	}
+	if got := participants[cfg.Rounds]; len(got) != 2 {
+		t.Fatalf("final round should include the rejoined worker, got %v", got)
+	}
+	c.Shutdown()
+	rwg.Wait()
+	wg.Wait()
+}
+
+// TestQuorumAbortsAfterMaxFailedRounds: with a quorum of 2 over a cohort
+// of 2, one dead worker makes every round sub-quorum; the run must skip up
+// to MaxFailedRounds rounds and then abort instead of spinning forever.
+func TestQuorumAbortsAfterMaxFailedRounds(t *testing.T) {
+	p := testPartition(2, 10, 3, 2, 11)
+	m := models.NewSoftmax(3, 2, 0)
+	c, wg := launchTwoPhase(t, p, m, 1)
+	defer c.Close()
+	c.SetFaultPolicy(FaultPolicy{MinParticipants: 2, MaxFailedRounds: 1})
+	cfg := core.FedAvg(5, 1, 2, 2, 10)
+	cfg.Seed = 4
+	w0 := make([]float64, m.Dim())
+	c.clients[1].conn.Close()
+	_, _, err := c.Train(w0, cfg, nil, nil)
+	if err == nil {
+		t.Fatal("sub-quorum rounds beyond MaxFailedRounds should abort")
+	}
+	if !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("unexpected abort error: %v", err)
+	}
+	c.Shutdown()
+	wg.Wait()
+}
+
+// TestCoordinatorRejectsZeroSampleCohort: an all-empty-shard cohort must
+// be rejected at construction instead of yielding NaN aggregation weights.
+func TestCoordinatorRejectsZeroSampleCohort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	type result struct {
+		c   *Coordinator
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		c, err := NewCoordinatorOn(ln, 2, 2*time.Second)
+		resCh <- result{c, err}
+	}()
+	for k := 0; k < 2; k++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := gob.NewEncoder(conn).Encode(&Hello{ClientID: k, NumSamples: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := <-resCh
+	if res.err == nil {
+		res.c.Close()
+		t.Fatal("all-empty cohort should be rejected")
+	}
+	if !strings.Contains(res.err.Error(), "samples") {
+		t.Fatalf("unexpected error: %v", res.err)
+	}
 }
 
 func TestRoundTimeoutFires(t *testing.T) {
@@ -292,6 +467,7 @@ func TestRoundTimeoutFires(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	done := make(chan struct{})
+	done2 := make(chan struct{})
 	go func() {
 		defer close(done)
 		conn, err := net.Dial("tcp", addr)
@@ -321,5 +497,3 @@ func TestRoundTimeoutFires(t *testing.T) {
 	close(done2)
 	<-done
 }
-
-var done2 = make(chan struct{})

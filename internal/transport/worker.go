@@ -23,7 +23,13 @@ type Worker struct {
 	dec    *gob.Decoder
 }
 
-// NewWorker connects to addr and performs the Hello handshake.
+// NewWorker connects to addr and performs the Hello handshake. The same
+// call is the rejoin path: a worker restarted after a crash dials the
+// coordinator again with its old client ID and shard, and is adopted back
+// into the cohort at the next round boundary. Its device RNG stream
+// restarts from the seed, so a run with a rejoined worker is statistically
+// equivalent to, not bit-identical with, an uninterrupted one (matching
+// the documented checkpoint-resume semantics).
 func NewWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64) (*Worker, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -67,7 +73,7 @@ func (w *Worker) Serve() error {
 			}()
 			local := w.device.RunRound(req.AnchorVec(), req.Local)
 			rep.Local, rep.Local32 = quantize(req.Codec, local)
-			rep.GradEvals = int(w.device.GradEvals())
+			rep.GradEvals = w.device.GradEvals()
 		}()
 		if err := w.enc.Encode(&rep); err != nil {
 			return protocolError("send", err)
