@@ -5,7 +5,7 @@ GO ?= go
 # wedging CI at the default 10-minute package deadline.
 TESTFLAGS ?= -timeout 120s
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-all
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,15 @@ race:
 # check is the CI gate: static analysis plus the race-enabled suite.
 check: vet race
 
+# bench runs the engine and solver benchmarks and records the results as
+# BENCH_engine.json (JSONL; one record per output line, raw text retained).
+# Reconstruct a benchstat-compatible stream with:
+#   jq -r .line BENCH_engine.json | benchstat /dev/stdin
 bench:
+	$(GO) test -run '^$$' -bench 'RoundAllocs|Ablation' -benchmem . ./internal/engine \
+		| $(GO) run ./cmd/benchjson -out BENCH_engine.json
+
+# bench-all sweeps every benchmark in the repo (figure/table reproductions
+# included) without recording.
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output into JSONL while
+// echoing the original text to stdout unchanged. Each output record retains
+// the raw line, so the benchstat-compatible text stream can be reconstructed
+// from the JSON file:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH.json
+//	jq -r .line BENCH.json | benchstat /dev/stdin
+//
+// Benchmark result lines additionally get parsed fields (name, iterations,
+// ns/op, B/op, allocs/op); context lines (goos, goarch, pkg, cpu) and
+// PASS/ok trailers are kept as raw lines only, preserving everything
+// benchstat needs to group results.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one line of benchmark output. Parsed fields are present only on
+// Benchmark result lines.
+type record struct {
+	Line        string   `json:"line"`
+	Name        string   `json:"name,omitempty"`
+	Iterations  int64    `json:"iterations,omitempty"`
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSONL records to this path (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	stdout := bufio.NewWriter(os.Stdout)
+	for in.Scan() {
+		line := in.Text()
+		fmt.Fprintln(stdout, line)
+		rec := parseLine(line)
+		if rec == nil {
+			continue
+		}
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	stdout.Flush()
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine classifies one line of `go test -bench` output. Blank lines are
+// dropped; context and trailer lines become raw records; Benchmark result
+// lines get parsed measurement fields.
+func parseLine(line string) *record {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" {
+		return nil
+	}
+	rec := &record{Line: line}
+	if !strings.HasPrefix(trimmed, "Benchmark") {
+		return rec
+	}
+	// BenchmarkName-8   1234   987.6 ns/op   16 B/op   1 allocs/op
+	fields := strings.Fields(trimmed)
+	if len(fields) < 2 {
+		return rec
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return rec // a Benchmark line without a count column (e.g. SKIP)
+	}
+	rec.Name = fields[0]
+	rec.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				rec.NsPerOp = &v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				rec.BytesPerOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				rec.AllocsPerOp = &v
+			}
+		}
+	}
+	return rec
+}

@@ -17,11 +17,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/engine"
+	"fedproxvr/internal/obs"
 	"fedproxvr/internal/transport"
 )
 
@@ -45,6 +47,8 @@ func main() {
 		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before each retry")
 		quorum   = flag.Int("quorum", 1, "minimum workers that must report, or the round is skipped")
 		maxSkip  = flag.Int("max-failed-rounds", 3, "consecutive sub-quorum rounds tolerated before aborting")
+		admin    = flag.String("admin", "", "HTTP admin address serving /metrics, /healthz, /debug/pprof/ (empty = off)")
+		trace    = flag.String("trace", "", "write one JSONL system record per round to this path")
 	)
 	flag.Parse()
 
@@ -86,6 +90,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Observability: -admin and/or -trace enable per-round collection. The
+	// in-process registry backs /metrics regardless of whether the run has
+	// started; the summary table prints after the run.
+	var summary *obs.Summary
+	var collector *obs.Collector
+	if *admin != "" || *trace != "" {
+		reg := &obs.Registry{}
+		summary = &obs.Summary{}
+		sinks := []obs.Sink{reg, summary}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			sinks = append(sinks, obs.NewJSONL(f))
+		}
+		collector = obs.NewCollector(sinks...)
+		eng.SetStats(collector)
+		if *admin != "" {
+			mux := obs.NewAdminMux(reg)
+			go func() {
+				if err := http.ListenAndServe(*admin, mux); err != nil {
+					fmt.Fprintf(os.Stderr, "fedserver: admin endpoint: %v\n", err)
+				}
+			}()
+			fmt.Printf("fedserver: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)\n", *admin)
+		}
+	}
+
 	eng.OnRound(func(info engine.RoundInfo) error {
 		if info.Failed > 0 {
 			fmt.Fprintf(os.Stderr, "fedserver: round %d: %d/%d workers reported (%d failed)\n",
@@ -99,6 +134,11 @@ func main() {
 		fatal(err)
 	}
 	coord.Shutdown()
+	if collector != nil {
+		if err := collector.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if err := series.WriteCSV(os.Stdout); err != nil {
 		fatal(err)
 	}
@@ -106,6 +146,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fedserver: %d rounds in %s, final loss %.4f, acc %.2f%%, %d participants last round, %d failures total\n",
 		*rounds, time.Since(start).Round(time.Millisecond), last.TrainLoss, last.TestAcc*100,
 		last.Participants, series.TotalFailed())
+	if summary != nil {
+		sent, recv := coord.Bandwidth()
+		fmt.Fprintf(os.Stderr, "fedserver: %d bytes sent, %d received over the run\n", sent, recv)
+		fmt.Fprintln(os.Stderr)
+		if err := summary.WriteTable(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

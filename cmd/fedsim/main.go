@@ -8,6 +8,7 @@
 //	fedsim -dataset digits -model cnn -alg svrg -beta 7 -tau 20 -batch 64
 //	fedsim -rounds 500 -checkpoint run.ckpt            # Ctrl-C safe, resumable
 //	fedsim -secure -alg sarah -rounds 100              # masked aggregation
+//	fedsim -trace run.jsonl -phases                    # per-round system trace
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"fedproxvr/internal/checkpoint"
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/obs"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "snapshot path; resumes if it exists")
 		ckptEvery = flag.Int("checkpoint-every", 5, "snapshot every k rounds")
 		csvPath   = flag.String("csv", "", "write series CSV to this path (default stdout)")
+		tracePath = flag.String("trace", "", "write one JSONL system record per round to this path")
+		phases    = flag.Bool("phases", false, "print the end-of-run phase-breakdown table to stderr")
 	)
 	flag.Parse()
 
@@ -70,12 +74,35 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var series *metrics.Series
-	if *ckptPath != "" {
-		r, err := fedproxvr.NewRunner(task, cfg)
+	r, err := fedproxvr.NewRunner(task, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Observability is opt-in: without -trace/-phases the engine takes no
+	// timing samples and the run is byte-for-byte the historical one.
+	var sinks []obs.Sink
+	var summary *obs.Summary
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
+		defer f.Close()
+		sinks = append(sinks, obs.NewJSONL(f))
+	}
+	if *phases {
+		summary = &obs.Summary{}
+		sinks = append(sinks, summary)
+	}
+	var collector *obs.Collector
+	if len(sinks) > 0 {
+		collector = obs.NewCollector(sinks...)
+		r.Engine().SetStats(collector)
+	}
+
+	var series *metrics.Series
+	if *ckptPath != "" {
 		series, err = checkpoint.TrainContext(ctx, r, *ckptPath, *ckptEvery)
 		if err != nil && !errors.Is(err, context.Canceled) {
 			fatal(err)
@@ -83,12 +110,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fedsim: interrupted; resume with -checkpoint %s\n", *ckptPath)
 		}
 	} else {
-		var err error
-		series, _, err = fedproxvr.TrainContext(ctx, task, cfg)
+		series, err = r.RunContext(ctx)
 		if err != nil && !errors.Is(err, context.Canceled) {
 			fatal(err)
 		} else if err != nil {
 			fmt.Fprintln(os.Stderr, "fedsim: interrupted; emitting partial series")
+		}
+	}
+	if collector != nil {
+		if err := collector.Close(); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -110,6 +141,12 @@ func main() {
 	if failed := series.TotalFailed(); failed > 0 {
 		fmt.Fprintf(os.Stderr, "%s: %d device report failures across the run; last round aggregated %d participants\n",
 			cfg.Name, failed, last.Participants)
+	}
+	if summary != nil {
+		fmt.Fprintln(os.Stderr)
+		if err := summary.WriteTable(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -72,6 +72,11 @@ const errNoClients = coreError("core: partition has no clients")
 // swapping the executor in decorator runtimes like internal/simnet).
 func (r *Runner) Engine() *engine.Engine { return r.eng }
 
+// Evaluator exposes the runner's server-side evaluator (loss, accuracy,
+// stationarity) for decorator runtimes that measure outside engine.Run —
+// internal/simnet stamps its own simulated-clock points with it.
+func (r *Runner) Evaluator() *engine.Evaluator { return r.eval }
+
 // Devices exposes the simulated devices (read-only use).
 func (r *Runner) Devices() []*Device { return r.devices }
 

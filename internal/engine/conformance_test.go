@@ -6,7 +6,12 @@
 package engine_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"io"
 	"math"
 	"net"
 	"sync"
@@ -18,6 +23,7 @@ import (
 	"fedproxvr/internal/mathx"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/models"
+	"fedproxvr/internal/obs"
 	"fedproxvr/internal/optim"
 	"fedproxvr/internal/randx"
 	"fedproxvr/internal/simnet"
@@ -226,17 +232,72 @@ func (f *failAfterExec) RunClients(anchor []float64, selected []int) ([][]float6
 
 func (f *failAfterExec) GradEvals() int64 { return f.inner.(engine.EvalCounter).GradEvals() }
 
+// serveFlakyWorker is a scripted wire-level worker: it performs the Hello
+// handshake and serves rounds like transport.Worker, but at round flakeRound
+// it replies with an application-level error once — WITHOUT running the local
+// solve — and then computes normally when the coordinator retries the same
+// round. The device therefore runs exactly once per round, so the run stays
+// bit-identical to one without the flake; only the retry counter moves.
+// Assumes CodecFloat64 (the conformance default).
+func serveFlakyWorker(t *testing.T, addr string, id int, shard *data.Dataset, m models.Model, seed int64, flakeRound int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("flaky worker %d: dial: %v", id, err)
+		return
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(&transport.Hello{ClientID: id, NumSamples: shard.N()}); err != nil {
+		t.Errorf("flaky worker %d: hello: %v", id, err)
+		return
+	}
+	dev := engine.NewDevice(id, shard, m, seed)
+	flaked := false
+	for {
+		var req transport.RoundRequest
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			t.Errorf("flaky worker %d: recv: %v", id, err)
+			return
+		}
+		if req.Done {
+			return
+		}
+		rep := transport.RoundReply{ClientID: id, Round: req.Round}
+		if req.Round == flakeRound && !flaked {
+			flaked = true
+			rep.Err = "injected flake"
+		} else {
+			start := time.Now()
+			rep.Local = dev.RunRound(req.AnchorVec(), req.Local)
+			rep.SolveSeconds = time.Since(start).Seconds()
+			rep.GradEvals = dev.GradEvals()
+		}
+		if err := enc.Encode(&rep); err != nil {
+			t.Errorf("flaky worker %d: send: %v", id, err)
+			return
+		}
+	}
+}
+
 // TestTCPWorkerFailureMatchesDropoutSchedule is the fault-tolerance
 // conformance gate: a TCP run whose worker is killed mid-training must
 // complete all configured rounds and produce a global model bit-identical
 // to an in-process run with the equivalent dropout schedule (the victim
-// stops reporting — and computing — after the same round).
+// stops reporting — and computing — after the same round). The run records
+// a JSONL observability trace, and one worker additionally flakes once at
+// an earlier round (application-level error, retried per FaultPolicy), so
+// the trace is asserted to capture both the retry and the dropout.
 func TestTCPWorkerFailureMatchesDropoutSchedule(t *testing.T) {
 	p := testPartition(4, 30, 3, 3, 1)
 	m := models.NewSoftmax(3, 3, 0)
 	cfg := conformanceConfigs()["full"]
 	cfg.Rounds = 8
 	const killAfter, victim = 3, 2
+	const flaky, flakeRound = 1, 2 // worker 1 errors once at round 2, then serves the retry
 
 	// In-process reference with the equivalent dropout schedule.
 	want, wantSeries := runBackend(t, cfg, p, m, func(d []*engine.Device) engine.Executor {
@@ -254,6 +315,14 @@ func TestTCPWorkerFailureMatchesDropoutSchedule(t *testing.T) {
 	workers := make([]*transport.Worker, n)
 	var wg sync.WaitGroup
 	for k := 0; k < n; k++ {
+		if k == flaky {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				serveFlakyWorker(t, addr, k, p.Clients[k], m, cfg.Seed, flakeRound)
+			}(k)
+			continue
+		}
 		w, err := transport.NewWorker(addr, k, p.Clients[k], m, cfg.Seed)
 		if err != nil {
 			t.Fatal(err)
@@ -276,6 +345,9 @@ func TestTCPWorkerFailureMatchesDropoutSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var trace bytes.Buffer
+	coll := obs.NewCollector(obs.NewJSONL(&trace))
+	eng.SetStats(coll)
 	eng.OnRound(func(info engine.RoundInfo) error {
 		if info.Round == killAfter {
 			workers[victim].Close()
@@ -289,6 +361,9 @@ func TestTCPWorkerFailureMatchesDropoutSchedule(t *testing.T) {
 	got := mathx.Clone(eng.Global())
 	c.Shutdown()
 	wg.Wait()
+	if err := coll.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
 
 	for i := range want {
 		if got[i] != want[i] {
@@ -309,6 +384,52 @@ func TestTCPWorkerFailureMatchesDropoutSchedule(t *testing.T) {
 	if last.Round != cfg.Rounds || last.Failed != 1 || last.Participants != len(p.Clients)-1 {
 		t.Fatalf("final point %+v: want round %d with %d participants and 1 failure",
 			last, cfg.Rounds, len(p.Clients)-1)
+	}
+
+	// The JSONL trace must record one line per round, with the injected
+	// flake visible as a retry and the killed worker as a per-round failure.
+	var records []obs.RoundStats
+	scan := json.NewDecoder(&trace)
+	for {
+		var rs obs.RoundStats
+		if err := scan.Decode(&rs); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatalf("trace decode: %v", err)
+		}
+		records = append(records, rs)
+	}
+	if len(records) != cfg.Rounds {
+		t.Fatalf("trace has %d records, want one per round (%d)", len(records), cfg.Rounds)
+	}
+	for i, rs := range records {
+		round := i + 1
+		if rs.Round != round {
+			t.Fatalf("trace record %d is for round %d", i, rs.Round)
+		}
+		wantPart := n
+		if round > killAfter {
+			wantPart = n - 1
+		}
+		if rs.Participants != wantPart || len(rs.Clients) != wantPart {
+			t.Fatalf("round %d trace: participants %d with %d client stats, want %d",
+				round, rs.Participants, len(rs.Clients), wantPart)
+		}
+		switch {
+		case round == flakeRound:
+			if rs.Retries < 1 {
+				t.Fatalf("round %d trace: retries %d, want ≥1 (injected flake)", round, rs.Retries)
+			}
+		case rs.Retries != 0:
+			t.Fatalf("round %d trace: unexpected retries %d", round, rs.Retries)
+		}
+		if round > killAfter && rs.Failed != 1 {
+			t.Fatalf("round %d trace: failed %d, want 1 (killed worker)", round, rs.Failed)
+		}
+		if rs.BytesSent <= 0 || rs.BytesRecv <= 0 {
+			t.Fatalf("round %d trace: bytes sent/recv %d/%d, want positive", round, rs.BytesSent, rs.BytesRecv)
+		}
 	}
 }
 

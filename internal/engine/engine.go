@@ -4,11 +4,13 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"fedproxvr/internal/data"
 	"fedproxvr/internal/mathx"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/models"
+	"fedproxvr/internal/obs"
 	"fedproxvr/internal/randx"
 )
 
@@ -37,6 +39,22 @@ type RoundInfo struct {
 // stopping). Returning an error aborts the run with that error.
 type Hook func(RoundInfo) error
 
+// StatsRecorder consumes per-round system accounting (see internal/obs).
+// obs.Collector is the standard implementation.
+type StatsRecorder interface {
+	RecordRound(rs *obs.RoundStats)
+}
+
+// StatsSource is implemented by executors that contribute backend-specific
+// stats to the round record (per-client latencies, transport bandwidth,
+// retry/rejoin counts, the simulated clock). EnableStats toggles the
+// backend's own collection so the observability-off path stays free of
+// timing calls; CollectStats is called once per round after the fan-out.
+type StatsSource interface {
+	EnableStats(on bool)
+	CollectStats(rs *obs.RoundStats)
+}
+
 // Engine drives the outer loop of Algorithm 1: selection → dropout →
 // Executor fan-out → Aggregator fold, plus metric measurement and
 // per-round hooks. It is the single implementation shared by the
@@ -49,9 +67,23 @@ type Engine struct {
 	server  *rand.Rand
 	w       []float64
 	selBuf  []int
-	hooks   []Hook
 	eval    *Evaluator
 	round   int
+
+	hooks      []hookEntry
+	liveHooks  int
+	nextHookID int
+
+	stats   StatsRecorder
+	rs      obs.RoundStats // in-flight round record (reused; see FlushStats)
+	ranExec bool           // whether this round reached the executor fan-out
+}
+
+// hookEntry pairs a hook with a stable ID so unregistering survives slot
+// compaction (see compactHooks).
+type hookEntry struct {
+	id int
+	h  Hook
 }
 
 type engineError string
@@ -113,8 +145,14 @@ func (e *Engine) SetRound(t int) { e.round = t }
 func (e *Engine) Executor() Executor { return e.exec }
 
 // SetExecutor swaps the backend (e.g. wrapping it in a simulated-clock
-// decorator). Safe between rounds, not during one.
-func (e *Engine) SetExecutor(x Executor) { e.exec = x }
+// decorator). Safe between rounds, not during one. The stats enablement
+// follows the engine to the new backend.
+func (e *Engine) SetExecutor(x Executor) {
+	e.exec = x
+	if ss, ok := x.(StatsSource); ok {
+		ss.EnableStats(e.stats != nil)
+	}
+}
 
 // Aggregator returns the current aggregation rule.
 func (e *Engine) Aggregator() Aggregator { return e.agg }
@@ -127,13 +165,76 @@ func (e *Engine) SetAggregator(a Aggregator) { e.agg = a }
 // gradient-eval counts.
 func (e *Engine) SetEvaluator(ev *Evaluator) { e.eval = ev }
 
+// SetStats installs a per-round stats recorder (see internal/obs); nil
+// disables collection. With a recorder installed, Step samples wall-clock
+// phase timings and StatsSource executors collect per-client latencies;
+// without one the engine takes no timing samples and allocates nothing
+// extra per round. Safe between rounds, not during one.
+func (e *Engine) SetStats(rec StatsRecorder) {
+	e.stats = rec
+	if ss, ok := e.exec.(StatsSource); ok {
+		ss.EnableStats(rec != nil)
+	}
+}
+
+// FlushStats finalizes the in-flight round record — executor-side stats,
+// cumulative gradient evaluations, the evaluation-phase duration — and
+// hands it to the recorder. Run calls it once per round; callers that drive
+// Step directly (internal/simnet) call it themselves after measuring.
+// No-op without a recorder.
+func (e *Engine) FlushStats(evalSeconds float64) {
+	if e.stats == nil {
+		return
+	}
+	e.rs.EvalSeconds = evalSeconds
+	if e.ranExec {
+		if ss, ok := e.exec.(StatsSource); ok {
+			ss.CollectStats(&e.rs)
+		}
+	}
+	if ec, ok := e.exec.(EvalCounter); ok {
+		e.rs.GradEvals = ec.GradEvals()
+	}
+	e.stats.RecordRound(&e.rs)
+}
+
 // OnRound registers a hook called after every completed round, in
 // registration order. The returned function unregisters it (for callers
-// like internal/checkpoint that borrow an engine for one run).
+// like internal/checkpoint that borrow an engine for one run); it is
+// idempotent and stays valid across hook-slot compaction.
 func (e *Engine) OnRound(h Hook) func() {
-	e.hooks = append(e.hooks, h)
-	i := len(e.hooks) - 1
-	return func() { e.hooks[i] = nil }
+	e.nextHookID++
+	id := e.nextHookID
+	e.hooks = append(e.hooks, hookEntry{id: id, h: h})
+	e.liveHooks++
+	return func() {
+		for i := range e.hooks {
+			if e.hooks[i].id == id {
+				if e.hooks[i].h != nil {
+					e.hooks[i].h = nil
+					e.liveHooks--
+				}
+				return
+			}
+		}
+	}
+}
+
+// compactHooks drops unregistered hook slots. It runs only at round
+// boundaries — never during hook iteration, where removing slots would
+// skip or repeat entries — so Run's liveHooks>0 fast path (and its
+// Participants copy) stays dead once every hook is gone.
+func (e *Engine) compactHooks() {
+	if e.liveHooks == len(e.hooks) {
+		return
+	}
+	live := e.hooks[:0]
+	for _, he := range e.hooks {
+		if he.h != nil {
+			live = append(live, he)
+		}
+	}
+	e.hooks = live
 }
 
 // Step performs one global iteration: broadcast, local solve on the
@@ -143,15 +244,39 @@ func (e *Engine) OnRound(h Hook) func() {
 // out the global model is left unchanged. The returned slice aliases an
 // engine buffer and is only valid until the next Step.
 func (e *Engine) Step() ([]int, int, error) {
+	// Observability is strictly opt-in: with no recorder installed the
+	// round takes no timing samples and allocates nothing extra (the
+	// BenchmarkEngineRoundAllocs guarantee).
+	stats := e.stats != nil
+	var t0 time.Time
+	if stats {
+		e.rs.Reset()
+		e.ranExec = false
+		t0 = time.Now()
+	}
 	e.round++
 	e.selBuf = SelectClients(e.server, len(e.weights), e.cfg.ClientFraction, e.selBuf)
+	nsel := len(e.selBuf)
 	selected := Dropout(e.server, e.selBuf, e.cfg.DropoutProb)
+	if stats {
+		now := time.Now()
+		e.rs.Round = e.round
+		e.rs.SelectSeconds = now.Sub(t0).Seconds()
+		e.rs.Dropouts = nsel - len(selected)
+		t0 = now
+	}
 	if len(selected) == 0 {
 		return selected, 0, nil
 	}
 	locals, err := e.exec.RunClients(e.w, selected)
 	if err != nil {
 		return nil, 0, err
+	}
+	if stats {
+		now := time.Now()
+		e.rs.ExecSeconds = now.Sub(t0).Seconds()
+		e.ranExec = true
+		t0 = now
 	}
 	// Fold executor-reported failures (locals[i] == nil ⇒ selected[i]
 	// failed) out of the cohort: the round aggregates the survivors, the
@@ -167,11 +292,17 @@ func (e *Engine) Step() ([]int, int, error) {
 	}
 	failed := len(selected) - k
 	selected, locals = selected[:k], locals[:k]
+	if stats {
+		e.rs.Participants, e.rs.Failed = k, failed
+	}
 	if k == 0 {
 		return selected, failed, nil
 	}
 	if err := e.agg.Aggregate(e.w, selected, locals); err != nil {
 		return nil, failed, err
+	}
+	if stats {
+		e.rs.AggSeconds = time.Since(t0).Seconds()
 	}
 	return selected, failed, nil
 }
@@ -191,25 +322,35 @@ func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
 		if err := ctx.Err(); err != nil {
 			return s, err
 		}
+		e.compactHooks()
 		sel, failed, err := e.Step()
 		if err != nil {
 			return s, err
 		}
 		t := e.round
+		var evalSec float64
 		if t%e.cfg.EvalEvery == 0 || t == e.cfg.Rounds {
+			var t0 time.Time
+			if e.stats != nil {
+				t0 = time.Now()
+			}
 			p := e.measure(t)
+			if e.stats != nil {
+				evalSec = time.Since(t0).Seconds()
+			}
 			p.Participants, p.Failed = len(sel), failed
 			s.Append(p)
 		}
-		if len(e.hooks) > 0 {
+		e.FlushStats(evalSec)
+		if e.liveHooks > 0 {
 			// Hooks get a stable copy: sel aliases the engine's selection
 			// buffer, which the next round overwrites in place.
 			info := RoundInfo{Round: t, Participants: append([]int(nil), sel...), Failed: failed, Global: e.w, Series: s}
-			for _, h := range e.hooks {
-				if h == nil {
+			for _, he := range e.hooks {
+				if he.h == nil {
 					continue
 				}
-				if err := h(info); err != nil {
+				if err := he.h(info); err != nil {
 					return s, err
 				}
 			}

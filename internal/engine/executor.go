@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"fedproxvr/internal/data"
 	"fedproxvr/internal/models"
+	"fedproxvr/internal/obs"
 	"fedproxvr/internal/optim"
 	"fedproxvr/internal/randx"
 	"fedproxvr/internal/tensor"
@@ -80,6 +82,8 @@ type Sequential struct {
 	devices []*Device
 	local   optim.LocalConfig
 	buf     [][]float64
+	statsOn bool
+	lat     []obs.ClientStat
 }
 
 // NewSequential builds the sequential in-process executor.
@@ -90,10 +94,29 @@ func NewSequential(devices []*Device, local optim.LocalConfig) *Sequential {
 // RunClients implements Executor.
 func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	out := growLocals(&s.buf, len(selected))
+	if s.statsOn {
+		s.lat = growStats(s.lat, len(selected))
+		for i, id := range selected {
+			t0 := time.Now()
+			out[i] = s.devices[id].RunRound(anchor, s.local)
+			d := time.Since(t0).Seconds()
+			s.lat[i] = obs.ClientStat{ID: id, Seconds: d, SolveSeconds: d}
+		}
+		return out, nil
+	}
 	for i, id := range selected {
 		out[i] = s.devices[id].RunRound(anchor, s.local)
 	}
 	return out, nil
+}
+
+// EnableStats implements StatsSource.
+func (s *Sequential) EnableStats(on bool) { s.statsOn = on }
+
+// CollectStats implements StatsSource: per-client solve latencies of the
+// last round.
+func (s *Sequential) CollectStats(rs *obs.RoundStats) {
+	rs.Clients = append(rs.Clients, s.lat...)
 }
 
 // GradEvals implements EvalCounter.
@@ -113,6 +136,7 @@ type parJob struct {
 	out    [][]float64
 	local  optim.LocalConfig
 	wg     *sync.WaitGroup
+	lat    []obs.ClientStat // nil when stats are off
 }
 
 // Parallel fans each round's devices out to a persistent pool of worker
@@ -125,6 +149,8 @@ type Parallel struct {
 	jobs    chan parJob
 	buf     [][]float64
 	once    sync.Once
+	statsOn bool
+	lat     []obs.ClientStat
 }
 
 // NewParallel builds the pooled parallel executor. workers ≤ 0 selects the
@@ -146,7 +172,14 @@ func NewParallel(devices []*Device, local optim.LocalConfig, workers int) *Paral
 
 func parWorker(jobs <-chan parJob) {
 	for j := range jobs {
-		j.out[j.i] = j.dev.RunRound(j.anchor, j.local)
+		if j.lat != nil {
+			t0 := time.Now()
+			j.out[j.i] = j.dev.RunRound(j.anchor, j.local)
+			d := time.Since(t0).Seconds()
+			j.lat[j.i] = obs.ClientStat{ID: j.dev.ID, Seconds: d, SolveSeconds: d}
+		} else {
+			j.out[j.i] = j.dev.RunRound(j.anchor, j.local)
+		}
 		j.wg.Done()
 	}
 }
@@ -155,13 +188,28 @@ func parWorker(jobs <-chan parJob) {
 // because every device owns a private RNG stream.
 func (p *Parallel) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	out := growLocals(&p.buf, len(selected))
+	var lat []obs.ClientStat
+	if p.statsOn {
+		p.lat = growStats(p.lat, len(selected))
+		lat = p.lat
+	}
 	var wg sync.WaitGroup
 	wg.Add(len(selected))
 	for i, id := range selected {
-		p.jobs <- parJob{i: i, dev: p.devices[id], anchor: anchor, out: out, local: p.local, wg: &wg}
+		p.jobs <- parJob{i: i, dev: p.devices[id], anchor: anchor, out: out, local: p.local, wg: &wg, lat: lat}
 	}
 	wg.Wait()
 	return out, nil
+}
+
+// EnableStats implements StatsSource.
+func (p *Parallel) EnableStats(on bool) { p.statsOn = on }
+
+// CollectStats implements StatsSource: per-client solve latencies of the
+// last round (written by the pool workers; wg.Wait in RunClients is the
+// synchronization point).
+func (p *Parallel) CollectStats(rs *obs.RoundStats) {
+	rs.Clients = append(rs.Clients, p.lat...)
 }
 
 // GradEvals implements EvalCounter.
@@ -186,6 +234,15 @@ func growLocals(buf *[][]float64, n int) [][]float64 {
 		*buf = make([][]float64, n)
 	}
 	return (*buf)[:n]
+}
+
+// growStats resizes buf to n entries without reallocating when capacity
+// allows.
+func growStats(buf []obs.ClientStat, n int) []obs.ClientStat {
+	if cap(buf) < n {
+		return make([]obs.ClientStat, n)
+	}
+	return buf[:n]
 }
 
 func sumEvals(devices []*Device) int64 {

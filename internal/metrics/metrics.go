@@ -77,16 +77,25 @@ func (s *Series) RoundsToAcc(target float64) int {
 }
 
 // MeanGradNormSq returns (1/T)Σ_s ‖∇F̄(w̄^(s))‖² — the left-hand side of the
-// paper's ε-accuracy criterion (12).
+// paper's ε-accuracy criterion (12) — averaged over the points that
+// actually measured stationarity. Rounds recorded with TrackStationarity
+// off carry GradNormSq == 0, and including them would bias the criterion
+// toward zero; unmeasured (zero or NaN) points are therefore skipped, and
+// the result is NaN when no point measured it.
 func (s *Series) MeanGradNormSq() float64 {
-	if len(s.Points) == 0 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.GradNormSq == 0 || math.IsNaN(p.GradNormSq) {
+			continue
+		}
+		sum += p.GradNormSq
+		n++
+	}
+	if n == 0 {
 		return math.NaN()
 	}
-	var sum float64
-	for _, p := range s.Points {
-		sum += p.GradNormSq
-	}
-	return sum / float64(len(s.Points))
+	return sum / float64(n)
 }
 
 // TotalFailed sums the per-round failure counts over the measured points

@@ -61,6 +61,31 @@ func TestMeanGradNormSq(t *testing.T) {
 	}
 }
 
+// TestMeanGradNormSqSkipsUnmeasuredRounds: the eq. (12) criterion must
+// average only over rounds that actually measured ‖∇F̄‖². A round-0 point or
+// an EvalEvery round recorded while TrackStationarity was off carries
+// GradNormSq == 0; the historical implementation divided by the full point
+// count, biasing the criterion toward zero.
+func TestMeanGradNormSqSkipsUnmeasuredRounds(t *testing.T) {
+	s := &Series{}
+	s.Append(Point{Round: 0}) // round-0 point, stationarity not measured
+	s.Append(Point{Round: 1, GradNormSq: 4.0})
+	s.Append(Point{Round: 2}) // tracking off this round
+	s.Append(Point{Round: 3, GradNormSq: 2.0})
+	s.Append(Point{Round: 4, GradNormSq: math.NaN()}) // eval failure sentinel
+	want := (4.0 + 2.0) / 2
+	if got := s.MeanGradNormSq(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("MeanGradNormSq = %v, want %v (unmeasured rounds must not dilute the mean)", got, want)
+	}
+
+	none := &Series{}
+	none.Append(Point{Round: 0})
+	none.Append(Point{Round: 1})
+	if !math.IsNaN(none.MeanGradNormSq()) {
+		t.Fatal("a series that never measured stationarity should yield NaN, not 0")
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	s := sampleSeries()
 	var b strings.Builder

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewAdminMux builds the coordinator's admin endpoint: the registry's
+// Prometheus exposition at /metrics, a liveness probe at /healthz, and the
+// standard net/http/pprof profiling handlers under /debug/pprof/. The
+// handlers are mounted explicitly (rather than importing net/http/pprof for
+// its DefaultServeMux side effect) so the admin mux can be served on a
+// dedicated listener without exposing pprof on any other server the process
+// runs.
+func NewAdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"round\":%d}\n", reg.Round())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

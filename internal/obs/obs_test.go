@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func sampleRound(round int) *RoundStats {
+	return &RoundStats{
+		Round:         round,
+		Participants:  3,
+		Failed:        1,
+		Dropouts:      1,
+		Retries:       2,
+		Rejoins:       1,
+		GradEvals:     int64(round) * 100,
+		BytesSent:     50,
+		BytesRecv:     70,
+		SelectSeconds: 0.001,
+		ExecSeconds:   0.01,
+		AggSeconds:    0.002,
+		EvalSeconds:   0.005,
+		Clients: []ClientStat{
+			{ID: 0, Seconds: 0.004, SolveSeconds: 0.003},
+			{ID: 2, Seconds: 0.006, SolveSeconds: 0.005},
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.RecordRound(sampleRound(1))
+	j.RecordRound(sampleRound(2))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var rounds []RoundStats
+	for sc.Scan() {
+		var rs RoundStats
+		if err := json.Unmarshal(sc.Bytes(), &rs); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		rounds = append(rounds, rs)
+	}
+	if len(rounds) != 2 {
+		t.Fatalf("got %d records, want 2", len(rounds))
+	}
+	if rounds[1].Round != 2 || rounds[1].Participants != 3 || rounds[1].Retries != 2 {
+		t.Fatalf("record mismatch: %+v", rounds[1])
+	}
+	if len(rounds[0].Clients) != 2 || rounds[0].Clients[1].ID != 2 {
+		t.Fatalf("client stats not preserved: %+v", rounds[0].Clients)
+	}
+	if rounds[0].ExecSeconds != 0.01 {
+		t.Fatalf("exec seconds not preserved: %+v", rounds[0])
+	}
+}
+
+// failWriter fails after the first write so the deferred-error path is
+// exercised.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+func TestJSONLDefersWriteError(t *testing.T) {
+	j := NewJSONL(&failWriter{})
+	j.RecordRound(sampleRound(1))
+	j.RecordRound(sampleRound(2)) // must not panic or abort
+	j.RecordRound(sampleRound(3))
+	if err := j.Close(); err == nil {
+		t.Fatal("Close should surface the deferred write error")
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	var reg Registry
+	reg.RecordRound(sampleRound(1))
+	reg.RecordRound(sampleRound(2))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fed_round 2",
+		"fed_participants 3",
+		"fed_rounds_total 2",
+		"fed_failed_total 2",
+		"fed_dropouts_total 2",
+		"fed_retries_total 4",
+		"fed_rejoins_total 2",
+		"fed_grad_evals_total 200",
+		"fed_bytes_sent_total 100",
+		"fed_bytes_received_total 140",
+		`fed_phase_seconds_total{phase="select"} 0.002`,
+		`fed_phase_seconds_total{phase="execute"} 0.02`,
+		`fed_phase_seconds_total{phase="aggregate"} 0.004`,
+		`fed_phase_seconds_total{phase="evaluate"} 0.01`,
+		"# TYPE fed_round gauge",
+		"# TYPE fed_rounds_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	var sum Summary
+	sum.RecordRound(sampleRound(1))
+	sum.RecordRound(sampleRound(2))
+	var buf bytes.Buffer
+	if err := sum.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase", "execute", "aggregate", "ms/round", "rounds 2", "retries 4", "bytes sent 100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var sum Summary
+	var buf bytes.Buffer
+	if err := sum.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no rounds") {
+		t.Fatalf("empty summary should say so, got %q", buf.String())
+	}
+}
+
+// captureSink retains copies of records to verify collector fan-out and the
+// copy-before-retain contract.
+type captureSink struct {
+	rounds []RoundStats
+	closed bool
+}
+
+func (c *captureSink) RecordRound(rs *RoundStats) {
+	cp := *rs
+	cp.Clients = append([]ClientStat(nil), rs.Clients...)
+	c.rounds = append(c.rounds, cp)
+}
+func (c *captureSink) Close() error { c.closed = true; return nil }
+
+func TestCollectorFansOut(t *testing.T) {
+	a, b := &captureSink{}, &captureSink{}
+	col := NewCollector(a, b)
+	col.RecordRound(sampleRound(1))
+	col.RecordRound(sampleRound(2))
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*captureSink{"a": a, "b": b} {
+		if len(s.rounds) != 2 || s.rounds[0].Round != 1 || s.rounds[1].Round != 2 {
+			t.Fatalf("sink %s saw %+v", name, s.rounds)
+		}
+		if !s.closed {
+			t.Fatalf("sink %s not closed", name)
+		}
+	}
+}
+
+func TestRoundStatsResetKeepsClientCapacity(t *testing.T) {
+	rs := sampleRound(1)
+	backing := &rs.Clients[0]
+	rs.Reset()
+	if rs.Round != 0 || rs.Retries != 0 || len(rs.Clients) != 0 {
+		t.Fatalf("Reset left data behind: %+v", rs)
+	}
+	rs.Clients = append(rs.Clients, ClientStat{ID: 9})
+	if &rs.Clients[0] != backing {
+		t.Fatal("Reset dropped the Clients backing array")
+	}
+}
+
+func TestAdminMux(t *testing.T) {
+	var reg Registry
+	reg.RecordRound(sampleRound(7))
+	srv := httptest.NewServer(NewAdminMux(&reg))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+	if out := get("/metrics"); !strings.Contains(out, "fed_round 7") {
+		t.Fatalf("/metrics missing fed_round:\n%s", out)
+	}
+	if out := get("/healthz"); !strings.Contains(out, `"status":"ok"`) || !strings.Contains(out, `"round":7`) {
+		t.Fatalf("/healthz unexpected body: %s", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "profile") {
+		t.Fatalf("/debug/pprof/ index unexpected: %s", out)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"fedproxvr/internal/metrics"
+)
+
+// Summary accumulates round records into an end-of-run phase-breakdown
+// table: where the wall-clock time of the run went (selection, executor
+// fan-out, aggregation, evaluation) plus the fault and bandwidth totals.
+// Its zero value is ready to use.
+type Summary struct {
+	mu     sync.Mutex
+	rounds int64
+
+	selectSec, execSec, aggSec, evalSec float64
+
+	participants, failed, dropouts, retries, rejoins int64
+	gradEvals, bytesSent, bytesRecv                  int64
+}
+
+// RecordRound implements Sink.
+func (s *Summary) RecordRound(rs *RoundStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rounds++
+	s.selectSec += rs.SelectSeconds
+	s.execSec += rs.ExecSeconds
+	s.aggSec += rs.AggSeconds
+	s.evalSec += rs.EvalSeconds
+	s.participants += int64(rs.Participants)
+	s.failed += int64(rs.Failed)
+	s.dropouts += int64(rs.Dropouts)
+	s.retries += int64(rs.Retries)
+	s.rejoins += int64(rs.Rejoins)
+	s.gradEvals = rs.GradEvals // already cumulative
+	s.bytesSent += rs.BytesSent
+	s.bytesRecv += rs.BytesRecv
+}
+
+// Close implements Sink.
+func (s *Summary) Close() error { return nil }
+
+// WriteTable renders the phase breakdown and counter totals.
+func (s *Summary) WriteTable(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rounds == 0 {
+		_, err := fmt.Fprintln(w, "obs: no rounds recorded")
+		return err
+	}
+	total := s.selectSec + s.execSec + s.aggSec + s.evalSec
+	row := func(name string, sec float64) []string {
+		share := 0.0
+		if total > 0 {
+			share = sec / total * 100
+		}
+		return []string{
+			name,
+			fmt.Sprintf("%.4f", sec),
+			fmt.Sprintf("%.3f", sec/float64(s.rounds)*1e3),
+			fmt.Sprintf("%.1f%%", share),
+		}
+	}
+	if err := metrics.Table(w,
+		[]string{"phase", "seconds", "ms/round", "share"},
+		[][]string{
+			row("select", s.selectSec),
+			row("execute", s.execSec),
+			row("aggregate", s.aggSec),
+			row("evaluate", s.evalSec),
+			row("total", total),
+		}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"rounds %d · mean participants %.1f · failed %d · dropouts %d · retries %d · rejoins %d\n"+
+			"grad evals %d · bytes sent %d · bytes received %d\n",
+		s.rounds, float64(s.participants)/float64(s.rounds),
+		s.failed, s.dropouts, s.retries, s.rejoins,
+		s.gradEvals, s.bytesSent, s.bytesRecv)
+	return err
+}

@@ -135,6 +135,7 @@ type Solver struct {
 	g1, g2 []float64 // minibatch gradient scratch
 	pre    []float64 // w − ηv before prox
 	avg    []float64 // ReturnAverage accumulator
+	vClip  []float64 // clipped copy of v for the proximal step
 	batch  []int
 }
 
@@ -147,7 +148,7 @@ func NewSolver(m models.Model) *Solver {
 		v: make([]float64, d), anchor: make([]float64, d),
 		vFull: make([]float64, d), g1: make([]float64, d),
 		g2: make([]float64, d), pre: make([]float64, d),
-		avg: make([]float64, d),
+		avg: make([]float64, d), vClip: make([]float64, d),
 	}
 }
 
@@ -201,9 +202,8 @@ func (s *Solver) Solve(ds *data.Dataset, anchor, out []float64, cfg LocalConfig,
 
 	// w^(1) = prox(w^(0) − η v^(0)).
 	copy(s.wPrev, s.w)
-	s.clip(cfg)
 	eta0 := cfg.etaAt(0)
-	mathx.AddScaled(s.pre, s.w, -eta0, s.v)
+	mathx.AddScaled(s.pre, s.w, -eta0, s.direction(cfg))
 	prox.Apply(s.w, s.pre, eta0)
 
 	// Lines 5–9: τ stochastic proximal steps.
@@ -234,9 +234,8 @@ func (s *Solver) Solve(ds *data.Dataset, anchor, out []float64, cfg LocalConfig,
 		}
 		record(t)
 		copy(s.wPrev, s.w)
-		s.clip(cfg)
 		eta := cfg.etaAt(t)
-		mathx.AddScaled(s.pre, s.w, -eta, s.v)
+		mathx.AddScaled(s.pre, s.w, -eta, s.direction(cfg))
 		prox.Apply(s.w, s.pre, eta)
 	}
 
@@ -251,15 +250,23 @@ func (s *Solver) Solve(ds *data.Dataset, anchor, out []float64, cfg LocalConfig,
 	return gradEvals
 }
 
-// clip rescales s.v to at most cfg.ClipNorm when clipping is enabled.
-func (s *Solver) clip(cfg LocalConfig) {
+// direction returns the vector to use in the proximal step: s.v itself, or
+// — when clipping is enabled and binding — a rescaled copy in s.vClip.
+// The stored direction s.v is never mutated: SARAH's recursion (8a) reads
+// v^(t−1) at the next iteration, and clipping it in place would silently
+// substitute the clipped step for the estimator's state (the historical
+// Solver.clip bug).
+func (s *Solver) direction(cfg LocalConfig) []float64 {
 	if cfg.ClipNorm <= 0 {
-		return
+		return s.v
 	}
 	n := mathx.Nrm2(s.v)
-	if n > cfg.ClipNorm {
-		mathx.Scal(cfg.ClipNorm/n, s.v)
+	if n <= cfg.ClipNorm {
+		return s.v
 	}
+	copy(s.vClip, s.v)
+	mathx.Scal(cfg.ClipNorm/n, s.vClip)
+	return s.vClip
 }
 
 // SurrogateGradNorm returns ‖∇J_n(w)‖ = ‖∇F_n(w) + μ(w − anchor)‖ — the

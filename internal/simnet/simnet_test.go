@@ -226,3 +226,64 @@ func partitionOf(t *testing.T, r *core.Runner) *data.Partition {
 	}
 	return p
 }
+
+// TestTimedTrainMeasuresAccuracy: with cfg.Test set, the timed runner must
+// measure test accuracy through the runner's Evaluator — the historical
+// Train hardcoded TestAcc to NaN, so TimedSeries.TimeToAcc always returned
+// −1 and the paper's time-to-accuracy comparisons were impossible.
+func TestTimedTrainMeasuresAccuracy(t *testing.T) {
+	rng := randx.New(5)
+	p := &data.Partition{Clients: make([]*data.Dataset, 4)}
+	test := data.New(3, 3, 60)
+	x := make([]float64, 3)
+	for k := range p.Clients {
+		ds := data.New(3, 3, 30)
+		for i := 0; i < 30; i++ {
+			c := (k + i) % 3
+			randx.NormalVec(rng, x, float64(c)*2, 0.5)
+			ds.AppendClass(x, c)
+		}
+		p.Clients[k] = ds
+	}
+	for i := 0; i < 60; i++ {
+		c := i % 3
+		randx.NormalVec(rng, x, float64(c)*2, 0.5)
+		test.AppendClass(x, c)
+	}
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := core.FedProxVR(optim.SARAH, 5, 1, 0.1, 10, 8, 12)
+	cfg.Seed = 6
+	cfg.Test = test
+	cfg.TrackStationarity = true
+	r, err := core.NewRunner(m, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewUniformFleet(4, DeviceProfile{ComputePerIter: 0.01, Uplink: 0.5, Downlink: 0.5}, 7)
+	ts, err := Train(r, fleet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ts.Points[len(ts.Points)-1]
+	if math.IsNaN(last.TestAcc) {
+		t.Fatal("TestAcc is NaN despite cfg.Test being set")
+	}
+	if last.TestAcc <= 0.5 || last.TestAcc > 1 {
+		t.Fatalf("implausible final accuracy %v on a separable fixture", last.TestAcc)
+	}
+	if tt := ts.TimeToAcc(0.5); tt < 0 {
+		t.Fatal("TimeToAcc(0.5) = -1: accuracy never measured")
+	}
+	if ts.TimeToAcc(1.01) != -1 {
+		t.Fatal("unreachable accuracy should still be -1")
+	}
+	if last.GradNormSq <= 0 {
+		t.Fatal("TrackStationarity should record a positive gradient norm")
+	}
+	if last.GradEvals <= 0 {
+		t.Fatal("timed points should carry cumulative gradient evaluations")
+	}
+	if last.Participants != 4 {
+		t.Fatalf("full participation fixture reported %d participants", last.Participants)
+	}
+}

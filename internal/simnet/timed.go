@@ -3,10 +3,12 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/obs"
 )
 
 // TimedPoint couples a metric point with its simulated wall-clock time.
@@ -98,6 +100,23 @@ func (x *TimedExecutor) GradEvals() int64 {
 	return 0
 }
 
+// EnableStats implements engine.StatsSource by forwarding to the inner
+// executor (the decorator adds only the simulated clock).
+func (x *TimedExecutor) EnableStats(on bool) {
+	if ss, ok := x.inner.(engine.StatsSource); ok {
+		ss.EnableStats(on)
+	}
+}
+
+// CollectStats implements engine.StatsSource: the inner backend's stats
+// plus the simulated clock after this round.
+func (x *TimedExecutor) CollectStats(rs *obs.RoundStats) {
+	if ss, ok := x.inner.(engine.StatsSource); ok {
+		ss.CollectStats(rs)
+	}
+	rs.SimSeconds = x.now
+}
+
 // Inner returns the wrapped executor.
 func (x *TimedExecutor) Inner() engine.Executor { return x.inner }
 
@@ -123,17 +142,39 @@ func Train(r *core.Runner, fleet *Fleet, measureEvery int) (*TimedSeries, error)
 	tx := NewTimedExecutor(eng.Executor(), fleet, cfg.Local.Tau)
 	eng.SetExecutor(tx)
 	defer eng.SetExecutor(tx.Inner())
+	ev := r.Evaluator()
 	out := &TimedSeries{Name: cfg.Name}
-	measure := func(round int) {
-		p := metrics.Point{Round: round, TrainLoss: r.GlobalLoss(), TestAcc: math.NaN()}
+	// Measurement goes through the runner's Evaluator exactly like
+	// engine.Run's: the historical Train hardcoded TestAcc to NaN, which
+	// made TimedSeries.TimeToAcc blind even with cfg.Test set.
+	measure := func(round, participants, failed int) {
+		w := eng.Global()
+		p := metrics.Point{
+			Round:        round,
+			TrainLoss:    ev.Loss(w),
+			TestAcc:      ev.Accuracy(w),
+			GradEvals:    tx.GradEvals(),
+			Participants: participants,
+			Failed:       failed,
+		}
+		if cfg.TrackStationarity {
+			p.GradNormSq = ev.GradNormSq(w)
+		}
 		out.Points = append(out.Points, TimedPoint{Time: tx.Now(), Point: p})
 	}
-	measure(0)
+	measure(0, 0, 0)
 	for t := 1; t <= cfg.Rounds; t++ {
-		r.Step()
-		if t%measureEvery == 0 || t == cfg.Rounds {
-			measure(t)
+		sel, failed, err := eng.Step()
+		if err != nil {
+			return out, err
 		}
+		var evalSec float64
+		if t%measureEvery == 0 || t == cfg.Rounds {
+			t0 := time.Now()
+			measure(t, len(sel), failed)
+			evalSec = time.Since(t0).Seconds()
+		}
+		eng.FlushStats(evalSec)
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedproxvr/internal/core"
@@ -15,6 +16,7 @@ import (
 	"fedproxvr/internal/mathx"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/models"
+	"fedproxvr/internal/obs"
 	"fedproxvr/internal/optim"
 )
 
@@ -82,6 +84,16 @@ type Coordinator struct {
 	retiredSent  int64               // bandwidth of replaced connections
 	retiredRecv  int64
 	skippedRound int // consecutive rounds below the quorum floor
+
+	// Per-round observability, reset by resetRoundObs at the top of
+	// roundSubset (before rejoin adoption, so adoptions count into the round
+	// they land in). obsOn gates all of it so the off path stays free of
+	// per-round work; retries and rejoins accumulate unconditionally (they
+	// are cheap) and the reset discards anything recorded while off.
+	obsOn      atomic.Bool
+	obsRetries atomic.Int64     // re-sent requests this round
+	obsRejoins int              // adoptions this round (guarded by mu)
+	obsLat     []obs.ClientStat // indexed by position in selected; ID<0 ⇒ no report
 }
 
 // SetCodec selects the wire codec for subsequent rounds (default
@@ -251,6 +263,7 @@ func (c *Coordinator) adoptRejoined() {
 		c.retiredRecv += old.conn.BytesReceived()
 		c.clients[id] = cc
 		delete(c.pending, id)
+		c.obsRejoins++
 	}
 }
 
@@ -316,6 +329,10 @@ var errWorkerDown = fmt.Errorf("transport: worker connection is down")
 // continue: the whole cohort is dead, or fewer than MinParticipants
 // reported for more than MaxFailedRounds consecutive rounds.
 func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.LocalConfig, selected []int, locals [][]float64, evals []int64) (failed int, err error) {
+	obsOn := c.obsOn.Load()
+	if obsOn {
+		c.resetRoundObs(len(selected))
+	}
 	c.adoptRejoined()
 	a64, a32 := quantize(c.codec, anchor)
 	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local}
@@ -331,7 +348,21 @@ func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.Local
 		wg.Add(1)
 		go func(i int, cc *clientConn) {
 			defer wg.Done()
-			locals[i], errs[i] = c.askWorker(cc, round, &req, len(anchor), evals)
+			if !obsOn {
+				locals[i], _, errs[i] = c.askWorker(cc, round, &req, len(anchor), evals)
+				return
+			}
+			t0 := time.Now()
+			vec, solve, werr := c.askWorker(cc, round, &req, len(anchor), evals)
+			if werr == nil {
+				// Distinct goroutines write distinct i — no lock needed.
+				c.obsLat[i] = obs.ClientStat{
+					ID:           cc.id,
+					Seconds:      time.Since(t0).Seconds(),
+					SolveSeconds: solve,
+				}
+			}
+			locals[i], errs[i] = vec, werr
 		}(i, cc)
 	}
 	wg.Wait()
@@ -377,29 +408,34 @@ func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.Local
 }
 
 // askWorker performs one worker's round exchange with bounded retry.
-func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) ([]float64, error) {
+// solveSec is the worker-reported local-solve duration of the successful
+// attempt (zero on failure).
+func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) (vec []float64, solveSec float64, err error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.fault.MaxRetries; attempt++ {
-		if attempt > 0 && c.fault.RetryBackoff > 0 {
-			time.Sleep(c.fault.RetryBackoff)
+		if attempt > 0 {
+			c.obsRetries.Add(1)
+			if c.fault.RetryBackoff > 0 {
+				time.Sleep(c.fault.RetryBackoff)
+			}
 		}
-		vec, err, retriable := c.exchange(cc, round, req, dim, evals)
+		vec, solve, err, retriable := c.exchange(cc, round, req, dim, evals)
 		if err == nil {
-			return vec, nil
+			return vec, solve, nil
 		}
 		lastErr = err
 		if !retriable {
 			break
 		}
 	}
-	return nil, lastErr
+	return nil, 0, lastErr
 }
 
 // exchange is a single request/reply attempt. retriable distinguishes
 // application-level failures (worker panic, wrong-round reply — the stream
 // is still framed, so a resend can succeed) from network-level ones (the
 // gob stream is torn; the caller must drop the connection).
-func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) (vec []float64, err error, retriable bool) {
+func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) (vec []float64, solveSec float64, err error, retriable bool) {
 	if c.timeout > 0 {
 		cc.conn.SetDeadline(time.Now().Add(c.timeout))
 		// Clear the absolute deadline on every exit path: a deadline left
@@ -407,28 +443,62 @@ func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim
 		defer cc.conn.SetDeadline(time.Time{})
 	}
 	if err := cc.enc.Encode(req); err != nil {
-		return nil, protocolError(fmt.Sprintf("send to client %d", cc.id), err), false
+		return nil, 0, protocolError(fmt.Sprintf("send to client %d", cc.id), err), false
 	}
 	var rep RoundReply
 	if err := cc.dec.Decode(&rep); err != nil {
-		return nil, protocolError(fmt.Sprintf("recv from client %d", cc.id), err), false
+		return nil, 0, protocolError(fmt.Sprintf("recv from client %d", cc.id), err), false
 	}
 	if rep.Err != "" {
-		return nil, fmt.Errorf("transport: client %d: %s", cc.id, rep.Err), true
+		return nil, 0, fmt.Errorf("transport: client %d: %s", cc.id, rep.Err), true
 	}
 	if rep.Round != round {
-		return nil, fmt.Errorf("transport: client %d replied for round %d, want %d",
+		return nil, 0, fmt.Errorf("transport: client %d replied for round %d, want %d",
 			cc.id, rep.Round, round), true
 	}
 	vec = rep.LocalVec()
 	if len(vec) != dim {
-		return nil, fmt.Errorf("transport: client %d sent %d params, want %d",
+		return nil, 0, fmt.Errorf("transport: client %d sent %d params, want %d",
 			cc.id, len(vec), dim), true
 	}
 	if evals != nil {
 		evals[cc.id] = rep.GradEvals
 	}
-	return vec, nil, false
+	return vec, rep.SolveSeconds, nil, false
+}
+
+// resetRoundObs clears the per-round observability state for a round with n
+// selected workers. Runs before adoptRejoined so adoptions land in the round
+// being measured; also discards any retry/rejoin counts accumulated while
+// observability was off.
+func (c *Coordinator) resetRoundObs(n int) {
+	c.obsRetries.Store(0)
+	c.mu.Lock()
+	c.obsRejoins = 0
+	c.mu.Unlock()
+	if cap(c.obsLat) < n {
+		c.obsLat = make([]obs.ClientStat, n)
+	}
+	c.obsLat = c.obsLat[:n]
+	for i := range c.obsLat {
+		c.obsLat[i] = obs.ClientStat{ID: -1}
+	}
+}
+
+// collectRoundObs folds the last round's retry/rejoin counts and per-client
+// latencies into rs. Latency entries exist only for workers that reported
+// (ID ≥ 0); a below-quorum round keeps the survivors' latencies even though
+// their models were discarded — the work and the bytes were real.
+func (c *Coordinator) collectRoundObs(rs *obs.RoundStats) {
+	rs.Retries += int(c.obsRetries.Load())
+	c.mu.Lock()
+	rs.Rejoins += c.obsRejoins
+	c.mu.Unlock()
+	for _, s := range c.obsLat {
+		if s.ID >= 0 {
+			rs.Clients = append(rs.Clients, s)
+		}
+	}
 }
 
 // liveWorkers counts the connections not torn down (pending rejoins count:
@@ -469,6 +539,10 @@ type Executor struct {
 	round int
 	buf   [][]float64
 	evals []int64
+
+	statsOn  bool
+	lastSent int64 // Bandwidth baseline so CollectStats reports deltas
+	lastRecv int64
 }
 
 // Executor returns an engine backend that drives this coordinator's
@@ -501,6 +575,31 @@ func (x *Executor) GradEvals() int64 {
 		s += e
 	}
 	return s
+}
+
+// EnableStats implements engine.StatsSource. Turning stats on baselines the
+// byte counters so the first observed round reports a per-round delta, not
+// the connection lifetime total (the Hello handshake predates the engine).
+func (x *Executor) EnableStats(on bool) {
+	x.statsOn = on
+	x.c.obsOn.Store(on)
+	if on {
+		x.lastSent, x.lastRecv = x.c.Bandwidth()
+	}
+}
+
+// CollectStats implements engine.StatsSource: per-round wire-byte deltas
+// (retired connections included, via Bandwidth) plus the coordinator's
+// retry/rejoin counts and per-client round-trip and solve latencies.
+func (x *Executor) CollectStats(rs *obs.RoundStats) {
+	if !x.statsOn {
+		return
+	}
+	sent, recv := x.c.Bandwidth()
+	rs.BytesSent += sent - x.lastSent
+	rs.BytesRecv += recv - x.lastRecv
+	x.lastSent, x.lastRecv = sent, recv
+	x.c.collectRoundObs(rs)
 }
 
 // Train runs cfg.Rounds federated rounds starting from w0 and returns the

@@ -55,7 +55,12 @@ type RoundReply struct {
 	Local     []float64
 	Local32   []float32
 	GradEvals int64
-	Err       string // non-empty if the worker failed this round
+	// SolveSeconds is the worker-measured wall-clock duration of the local
+	// solve, so the coordinator's observability layer can split a round
+	// trip into compute and communication shares. gob tolerates the added
+	// field in both directions (old peers leave it zero).
+	SolveSeconds float64
+	Err          string // non-empty if the worker failed this round
 }
 
 // LocalVec returns the local model as float64 regardless of codec.

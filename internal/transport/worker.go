@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"time"
 
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/data"
@@ -71,7 +72,9 @@ func (w *Worker) Serve() error {
 					rep.Err = toErrString(r)
 				}
 			}()
+			start := time.Now()
 			local := w.device.RunRound(req.AnchorVec(), req.Local)
+			rep.SolveSeconds = time.Since(start).Seconds()
 			rep.Local, rep.Local32 = quantize(req.Codec, local)
 			rep.GradEvals = w.device.GradEvals()
 		}()
