@@ -5,7 +5,7 @@ GO ?= go
 # wedging CI at the default 10-minute package deadline.
 TESTFLAGS ?= -timeout 120s
 
-.PHONY: build test vet race check bench bench-all
+.PHONY: build test vet race check bench bench-all chaos
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,17 @@ race:
 
 # check is the CI gate: static analysis plus the race-enabled suite.
 check: vet race
+
+# chaos runs the seeded fault-injection suite under the race detector: the
+# declarative-schedule conformance tests (bit-identical models across the
+# sequential, parallel and TCP backends under crash/flake/delay/corrupt/
+# partition faults), the straggler-deadline tests, and the generated-schedule
+# soak. CHAOS_SOAK_ROUNDS extends the soak (default 12 rounds), e.g.
+#   make chaos CHAOS_SOAK_ROUNDS=200
+CHAOS_SOAK_ROUNDS ?=
+chaos:
+	CHAOS_SOAK_ROUNDS=$(CHAOS_SOAK_ROUNDS) $(GO) test -race $(TESTFLAGS) -count=1 \
+		-run 'Chaos|Straggler|MinReport' ./internal/chaos/ ./internal/engine/ ./internal/transport/
 
 # bench runs the engine and solver benchmarks and records the results as
 # BENCH_engine.json (JSONL; one record per output line, raw text retained).

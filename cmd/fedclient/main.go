@@ -12,19 +12,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"fedproxvr/internal/chaos"
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/transport"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:7070", "server address")
-		id      = flag.Int("id", 0, "this device's id in [0, devices)")
-		devices = flag.Int("devices", 3, "total device count (must match the server)")
-		dataset = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
-		samples = flag.Int("samples", 120, "image samples per class (image datasets)")
-		seed    = flag.Int64("seed", 2020, "shared experiment seed")
+		addr      = flag.String("addr", "localhost:7070", "server address")
+		id        = flag.Int("id", 0, "this device's id in [0, devices)")
+		devices   = flag.Int("devices", 3, "total device count (must match the server)")
+		dataset   = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
+		samples   = flag.Int("samples", 120, "image samples per class (image datasets)")
+		seed      = flag.Int64("seed", 2020, "shared experiment seed")
+		chaosPath = flag.String("chaos", "", "inject faults from this JSON schedule (see internal/chaos)")
+		rejoin    = flag.Int("rejoin", -1, "re-dial attempts after losing the server (-1 = default: 0, or 40 with -chaos)")
+		rejoinGap = flag.Duration("rejoin-backoff", 25*time.Millisecond, "pause between re-dial attempts")
 	)
 	flag.Parse()
 
@@ -38,9 +43,24 @@ func main() {
 	shard := task.Part.Clients[*id]
 	fmt.Printf("fedclient %d: shard of %d samples, dialing %s\n", *id, shard.N(), *addr)
 
-	worker, err := transport.NewWorker(*addr, *id, shard, task.Model, *seed)
-	if err != nil {
-		fatal(err)
+	var worker *transport.Worker
+	if *chaosPath != "" {
+		sched, err := chaos.Load(*chaosPath)
+		if err != nil {
+			fatal(err)
+		}
+		worker, err = transport.NewChaosWorker(*addr, *id, shard, task.Model, *seed, sched)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		worker, err = transport.NewWorker(*addr, *id, shard, task.Model, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *rejoin >= 0 {
+		worker.SetRejoin(*rejoin, *rejoinGap)
 	}
 	if err := worker.Serve(); err != nil {
 		fatal(err)

@@ -49,6 +49,8 @@ func main() {
 		maxSkip  = flag.Int("max-failed-rounds", 3, "consecutive sub-quorum rounds tolerated before aborting")
 		admin    = flag.String("admin", "", "HTTP admin address serving /metrics, /healthz, /debug/pprof/ (empty = off)")
 		trace    = flag.String("trace", "", "write one JSONL system record per round to this path")
+		deadline = flag.Duration("round-deadline", 0, "cut each round after this wall-clock budget (0 = wait for everyone)")
+		minRep   = flag.Int("min-report", 0, "cut each round once this many workers reported (0 = wait for everyone)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,8 @@ func main() {
 	cfg.Test = task.Test
 	cfg.ClientFraction = *fraction
 	cfg.DropoutProb = *dropout
+	cfg.RoundDeadline = *deadline
+	cfg.MinReport = *minRep
 
 	fmt.Printf("fedserver: waiting for %d workers on %s …\n", *devices, *addr)
 	coord, err := transport.NewCoordinator(*addr, *devices, *timeout)
@@ -122,9 +126,11 @@ func main() {
 	}
 
 	eng.OnRound(func(info engine.RoundInfo) error {
-		if info.Failed > 0 {
-			fmt.Fprintf(os.Stderr, "fedserver: round %d: %d/%d workers reported (%d failed)\n",
-				info.Round, len(info.Participants), len(info.Participants)+info.Failed, info.Failed)
+		if info.Failed > 0 || info.Stragglers > 0 {
+			fmt.Fprintf(os.Stderr, "fedserver: round %d: %d/%d workers reported (%d failed, %d cut as stragglers)\n",
+				info.Round, len(info.Participants),
+				len(info.Participants)+info.Failed+info.Stragglers,
+				info.Failed, info.Stragglers)
 		}
 		return nil
 	})

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 
 	fedproxvr "fedproxvr"
+	"fedproxvr/internal/chaos"
 	"fedproxvr/internal/checkpoint"
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/metrics"
@@ -51,6 +52,9 @@ func main() {
 		csvPath   = flag.String("csv", "", "write series CSV to this path (default stdout)")
 		tracePath = flag.String("trace", "", "write one JSONL system record per round to this path")
 		phases    = flag.Bool("phases", false, "print the end-of-run phase-breakdown table to stderr")
+		deadline  = flag.Duration("round-deadline", 0, "cut each round after this wall-clock budget (0 = wait for everyone)")
+		minReport = flag.Int("min-report", 0, "cut each round once this many devices reported (0 = wait for everyone)")
+		chaosPath = flag.String("chaos", "", "inject faults from this JSON schedule (see internal/chaos)")
 	)
 	flag.Parse()
 
@@ -69,6 +73,8 @@ func main() {
 	cfg.ClientFraction = *fraction
 	cfg.DropoutProb = *dropout
 	cfg.SecureAgg = *secure
+	cfg.RoundDeadline = *deadline
+	cfg.MinReport = *minReport
 
 	// Ctrl-C cancels between rounds; with -checkpoint the run is resumable.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -77,6 +83,17 @@ func main() {
 	r, err := fedproxvr.NewRunner(task, cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Chaos injection wraps the executor before stats are enabled so the
+	// decorator inherits the engine's observability toggles.
+	if *chaosPath != "" {
+		sched, err := chaos.Load(*chaosPath)
+		if err != nil {
+			fatal(err)
+		}
+		eng := r.Engine()
+		eng.SetExecutor(chaos.NewExecutor(eng.Executor(), sched))
 	}
 
 	// Observability is opt-in: without -trace/-phases the engine takes no

@@ -1,0 +1,277 @@
+// Package chaos is the deterministic fault-injection layer of the
+// federated runtimes: a seeded, declarative schedule of per-device,
+// per-round fault events with two enforcement points — an engine.Executor
+// decorator for the in-process and simnet backends (see Executor) and a
+// net.Conn wrapper for the TCP worker (see Conn, wired through
+// transport.NewChaosWorker) — so the same schedule + seed produces the
+// same failure pattern on every backend.
+//
+// The package is deliberately declarative: a Schedule says *what* fails
+// *when*; the enforcement points translate events into the failure idiom
+// native to their runtime (a nil partial result in-process, a torn TCP
+// connection plus rejoin on the wire). Corruption noise is derived from
+// the schedule seed and the (device, round) pair, never from wall-clock
+// entropy, which is what keeps a corrupted run bit-identical across
+// backends.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fedproxvr/internal/randx"
+)
+
+// Kind names one fault type.
+type Kind string
+
+const (
+	// Crash fails the device for exactly one round: in-process the device
+	// never runs; on the wire the worker drops its connection before
+	// solving and rejoins afterwards.
+	Crash Kind = "crash"
+	// Flake makes the device fail its first attempt of the round and
+	// succeed on retry. Only the TCP path has attempts (FaultPolicy
+	// retries); in-process backends treat a flake as a no-op, which keeps
+	// the metric series bit-identical across backends — the retry is
+	// visible only in the transport's retry counter.
+	Flake Kind = "flake"
+	// Delay makes the device report late by the event's Delay. With a
+	// RoundDeadline armed the device is cut and counted as a straggler;
+	// without one the round simply takes longer.
+	Delay Kind = "delay"
+	// Corrupt adds seeded Gaussian noise (stddev Scale, default 1) to the
+	// device's reported model. The noise is a pure function of
+	// (schedule seed, device, round), so every backend corrupts
+	// identically.
+	Corrupt Kind = "corrupt"
+	// Partition takes the device out of every round in [Round, Until):
+	// repeated crashes in-process, a held-down connection on the wire.
+	Partition Kind = "partition"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	// Device is the target device/client ID.
+	Device int `json:"device"`
+	// Round is the 1-based global round the event fires in (for Partition,
+	// the first affected round).
+	Round int `json:"round"`
+	// Kind is the fault type.
+	Kind Kind `json:"kind"`
+	// DelayMS is the lateness in milliseconds (Delay events only).
+	DelayMS float64 `json:"delay_ms,omitempty"`
+	// Scale is the corruption noise stddev (Corrupt events only; 0 means 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Until is the first round the device is back (Partition events only;
+	// the device is out for rounds Round ≤ t < Until).
+	Until int `json:"until,omitempty"`
+}
+
+// Delay returns the event's lateness as a duration.
+func (e Event) Delay() time.Duration {
+	return time.Duration(e.DelayMS * float64(time.Millisecond))
+}
+
+// Schedule is a complete, seeded fault plan. Build one from JSON (Load,
+// Parse), programmatically (Events + Validate), or randomly (Generate).
+// After Validate succeeds the schedule is immutable and safe for
+// concurrent readers — both enforcement points of a conformance run may
+// share one instance.
+type Schedule struct {
+	// Seed drives the corruption noise (and recorded the generation seed
+	// for Generate-built schedules). Independent from the experiment seed.
+	Seed int64 `json:"seed"`
+	// Events are the scheduled faults, in any order.
+	Events []Event `json:"events"`
+
+	exact      map[[2]int]Event // (device, round) → event, partitions excluded
+	partitions map[int][]Event  // device → partition events
+	rounds     map[int]bool     // rounds with at least one event (partitions expanded)
+}
+
+// Load reads and validates a JSON schedule from path.
+func Load(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse reads and validates a JSON schedule.
+func Parse(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("chaos: parse schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks every event and compiles the lookup tables ActionFor
+// uses. It must be called once before a hand-built schedule is shared
+// across goroutines; Load, Parse and Generate call it for you.
+func (s *Schedule) Validate() error {
+	exact := make(map[[2]int]Event, len(s.Events))
+	partitions := make(map[int][]Event)
+	rounds := make(map[int]bool)
+	claim := func(device, round int) error {
+		key := [2]int{device, round}
+		if _, dup := exact[key]; dup {
+			return fmt.Errorf("chaos: device %d has two events in round %d", device, round)
+		}
+		for _, p := range partitions[device] {
+			if round >= p.Round && round < p.Until {
+				return fmt.Errorf("chaos: device %d has two events in round %d", device, round)
+			}
+		}
+		return nil
+	}
+	for _, ev := range s.Events {
+		if ev.Device < 0 {
+			return fmt.Errorf("chaos: negative device %d", ev.Device)
+		}
+		if ev.Round < 1 {
+			return fmt.Errorf("chaos: device %d: round must be ≥ 1, got %d", ev.Device, ev.Round)
+		}
+		switch ev.Kind {
+		case Crash, Flake, Corrupt:
+		case Delay:
+			if ev.DelayMS <= 0 {
+				return fmt.Errorf("chaos: device %d round %d: delay event needs delay_ms > 0", ev.Device, ev.Round)
+			}
+		case Partition:
+			if ev.Until <= ev.Round {
+				return fmt.Errorf("chaos: device %d round %d: partition needs until > round, got %d", ev.Device, ev.Round, ev.Until)
+			}
+		default:
+			return fmt.Errorf("chaos: device %d round %d: unknown kind %q", ev.Device, ev.Round, ev.Kind)
+		}
+		if ev.Scale < 0 {
+			return fmt.Errorf("chaos: device %d round %d: negative scale %v", ev.Device, ev.Round, ev.Scale)
+		}
+		if ev.Kind == Partition {
+			for t := ev.Round; t < ev.Until; t++ {
+				if err := claim(ev.Device, t); err != nil {
+					return err
+				}
+				rounds[t] = true
+			}
+			partitions[ev.Device] = append(partitions[ev.Device], ev)
+			continue
+		}
+		if err := claim(ev.Device, ev.Round); err != nil {
+			return err
+		}
+		exact[[2]int{ev.Device, ev.Round}] = ev
+		rounds[ev.Round] = true
+	}
+	s.exact, s.partitions, s.rounds = exact, partitions, rounds
+	return nil
+}
+
+// ActionFor returns the event firing for (device, round), if any.
+// Partition events match every round in their [Round, Until) range.
+// Requires a validated schedule.
+func (s *Schedule) ActionFor(device, round int) (Event, bool) {
+	if ev, ok := s.exact[[2]int{device, round}]; ok {
+		return ev, true
+	}
+	for _, p := range s.partitions[device] {
+		if round >= p.Round && round < p.Until {
+			return p, true
+		}
+	}
+	return Event{}, false
+}
+
+// RoundHasEvents reports whether any event fires in the given round —
+// the decorator's fast-path gate. Requires a validated schedule.
+func (s *Schedule) RoundHasEvents(round int) bool { return s.rounds[round] }
+
+// CorruptVec adds the event's deterministic Gaussian noise to vec in
+// place. The noise stream is derived from (Seed, device, round) only, so
+// the in-process decorator and the TCP worker corrupt bit-identically.
+func (s *Schedule) CorruptVec(ev Event, vec []float64) {
+	scale := ev.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := randx.NewStream(s.Seed, int64(ev.Device)*1_000_003+int64(ev.Round))
+	for i := range vec {
+		vec[i] += scale * rng.NormFloat64()
+	}
+}
+
+// GenConfig parameterizes Generate. Probabilities are per device per
+// round and are evaluated in a fixed order (crash, flake, delay, corrupt,
+// partition), so the same seed always yields the same schedule.
+type GenConfig struct {
+	Seed    int64
+	Devices int
+	Rounds  int
+
+	PCrash, PFlake, PDelay, PCorrupt, PPartition float64
+
+	// Delay is the lateness assigned to delay events (default 5ms).
+	Delay time.Duration
+	// Scale is the corruption stddev (default 0.1 — perturb, don't destroy).
+	Scale float64
+	// PartitionLen is the partition length in rounds (default 2).
+	PartitionLen int
+}
+
+// Generate draws a random schedule from the config, deterministically in
+// the seed. The result is validated and ready for concurrent use.
+func Generate(g GenConfig) (*Schedule, error) {
+	if g.Devices < 1 || g.Rounds < 1 {
+		return nil, fmt.Errorf("chaos: Generate needs devices ≥ 1 and rounds ≥ 1")
+	}
+	if g.Delay <= 0 {
+		g.Delay = 5 * time.Millisecond
+	}
+	if g.Scale <= 0 {
+		g.Scale = 0.1
+	}
+	if g.PartitionLen < 1 {
+		g.PartitionLen = 2
+	}
+	rng := randx.NewStream(g.Seed, 77)
+	s := &Schedule{Seed: g.Seed}
+	for dev := 0; dev < g.Devices; dev++ {
+		for t := 1; t <= g.Rounds; t++ {
+			u := rng.Float64()
+			switch {
+			case u < g.PCrash:
+				s.Events = append(s.Events, Event{Device: dev, Round: t, Kind: Crash})
+			case u < g.PCrash+g.PFlake:
+				s.Events = append(s.Events, Event{Device: dev, Round: t, Kind: Flake})
+			case u < g.PCrash+g.PFlake+g.PDelay:
+				s.Events = append(s.Events, Event{Device: dev, Round: t, Kind: Delay,
+					DelayMS: float64(g.Delay) / float64(time.Millisecond)})
+			case u < g.PCrash+g.PFlake+g.PDelay+g.PCorrupt:
+				s.Events = append(s.Events, Event{Device: dev, Round: t, Kind: Corrupt, Scale: g.Scale})
+			case u < g.PCrash+g.PFlake+g.PDelay+g.PCorrupt+g.PPartition:
+				until := t + g.PartitionLen
+				if until > g.Rounds+1 {
+					until = g.Rounds + 1
+				}
+				s.Events = append(s.Events, Event{Device: dev, Round: t, Kind: Partition, Until: until})
+				t = until - 1 // the device is out until then; no overlapping events
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"fedproxvr/internal/engine"
+	"fedproxvr/internal/obs"
+)
+
+// Executor decorates an in-process engine.Executor with fault injection
+// driven by a Schedule. Crash and Partition events skip the device for the
+// round (nil partial result, device RNG untouched); Flake is a transport
+// retry artifact and a no-op in process; Delay holds the device's result
+// back by the scheduled duration — which turns into a straggler cut when
+// the round has a deadline; Corrupt perturbs the returned update with
+// seeded noise. Because faults are decided by (device, round) lookups and
+// corruption noise is a pure function of the schedule seed, a chaos run is
+// bit-identical across the sequential, parallel, and simnet backends, and
+// matches the TCP path driven by the same schedule through chaos workers.
+//
+// Rounds are counted from 1, incremented on every RunClients call, which
+// matches the engine's round numbering when the decorator is installed
+// before training starts.
+type Executor struct {
+	inner engine.Executor
+	sched *Schedule
+	round int
+
+	out    [][]float64
+	runIDs []int
+	runPos []int
+
+	stragglers int
+}
+
+// NewExecutor wraps inner with the fault schedule.
+func NewExecutor(inner engine.Executor, sched *Schedule) *Executor {
+	return &Executor{inner: inner, sched: sched}
+}
+
+// Inner returns the wrapped executor.
+func (x *Executor) Inner() engine.Executor { return x.inner }
+
+// RunClients implements engine.Executor.
+func (x *Executor) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	return x.run(context.Background(), anchor, selected, 0)
+}
+
+// RunClientsCtx implements engine.ContextExecutor: the deadline/quorum
+// policy applies to the healthy cohort, and scheduled Delay events race
+// their devices against the round deadline.
+func (x *Executor) RunClientsCtx(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	return x.run(ctx, anchor, selected, minReport)
+}
+
+type lateDev struct {
+	pos int
+	id  int
+	d   time.Duration
+}
+
+func (x *Executor) run(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	x.round++
+	x.stragglers = 0
+	if !x.sched.RoundHasEvents(x.round) {
+		out, err := engine.RunClientsWithPolicy(x.inner, ctx, anchor, selected, minReport)
+		x.stragglers = innerStragglers(x.inner)
+		return out, err
+	}
+
+	if cap(x.out) < len(selected) {
+		x.out = make([][]float64, len(selected))
+	}
+	out := x.out[:len(selected)]
+	for i := range out {
+		out[i] = nil
+	}
+
+	// Partition the cohort: crashed/partitioned devices stay nil, delayed
+	// devices run late one by one, everyone else (including corrupt and
+	// flake targets) runs in one main fan-out.
+	x.runIDs = x.runIDs[:0]
+	x.runPos = x.runPos[:0]
+	var late []lateDev
+	var corrupt []int
+	for i, id := range selected {
+		ev, ok := x.sched.ActionFor(id, x.round)
+		if !ok {
+			x.runIDs = append(x.runIDs, id)
+			x.runPos = append(x.runPos, i)
+			continue
+		}
+		switch ev.Kind {
+		case Crash, Partition:
+			// nil slot: the engine counts it as failed, same as a crashed
+			// TCP worker.
+		case Delay:
+			late = append(late, lateDev{pos: i, id: id, d: ev.Delay()})
+		case Corrupt:
+			corrupt = append(corrupt, i)
+			x.runIDs = append(x.runIDs, id)
+			x.runPos = append(x.runPos, i)
+		default: // Flake: transport-level retry artifact, solves in process
+			x.runIDs = append(x.runIDs, id)
+			x.runPos = append(x.runPos, i)
+		}
+	}
+
+	if len(x.runIDs) > 0 {
+		locals, err := engine.RunClientsWithPolicy(x.inner, ctx, anchor, x.runIDs, minReport)
+		if err != nil {
+			return nil, err
+		}
+		// Copy result pointers out immediately: the inner executor owns
+		// the backing slice and reuses it on the next call. The vectors
+		// themselves are device-owned buffers, stable until that device's
+		// next RunRound.
+		for j, pos := range x.runPos {
+			out[pos] = locals[j]
+		}
+		x.stragglers += innerStragglers(x.inner)
+	}
+
+	// Delayed devices report late, in delay order; under a round deadline
+	// the ones past the cut become stragglers without touching their RNG.
+	sort.Slice(late, func(a, b int) bool {
+		if late[a].d != late[b].d {
+			return late[a].d < late[b].d
+		}
+		return late[a].pos < late[b].pos
+	})
+	var slept time.Duration
+	for _, ld := range late {
+		if wait := ld.d - slept; wait > 0 {
+			if !sleepCtx(ctx, wait) {
+				x.stragglers++
+				continue
+			}
+			slept = ld.d
+		}
+		if ctx.Err() != nil {
+			x.stragglers++
+			continue
+		}
+		one, err := engine.RunClientsWithPolicy(x.inner, ctx, anchor, []int{ld.id}, 0)
+		if err != nil {
+			return nil, err
+		}
+		if one[0] == nil {
+			x.stragglers++
+			continue
+		}
+		out[ld.pos] = one[0]
+	}
+
+	for _, pos := range corrupt {
+		if out[pos] == nil {
+			continue
+		}
+		ev, _ := x.sched.ActionFor(selected[pos], x.round)
+		cp := append([]float64(nil), out[pos]...)
+		x.sched.CorruptVec(ev, cp)
+		out[pos] = cp
+	}
+	return out, nil
+}
+
+// sleepCtx sleeps for d, returning false if ctx expires first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Stragglers implements engine.StragglerCounter.
+func (x *Executor) Stragglers() int { return x.stragglers }
+
+// GradEvals implements engine.EvalCounter when the wrapped executor does.
+func (x *Executor) GradEvals() int64 {
+	if ec, ok := x.inner.(engine.EvalCounter); ok {
+		return ec.GradEvals()
+	}
+	return 0
+}
+
+// EnableStats implements engine.StatsSource, forwarding to the wrapped
+// executor.
+func (x *Executor) EnableStats(on bool) {
+	if ss, ok := x.inner.(engine.StatsSource); ok {
+		ss.EnableStats(on)
+	}
+}
+
+// CollectStats implements engine.StatsSource. In rounds with chaos events
+// the inner executor ran several sub-fan-outs and only the last one's
+// per-client latencies survive — per-client timing in chaos rounds is
+// best-effort; round-level counters are exact.
+func (x *Executor) CollectStats(rs *obs.RoundStats) {
+	if ss, ok := x.inner.(engine.StatsSource); ok {
+		ss.CollectStats(rs)
+	}
+}
+
+func innerStragglers(x engine.Executor) int {
+	if sc, ok := x.(engine.StragglerCounter); ok {
+		return sc.Stragglers()
+	}
+	return 0
+}

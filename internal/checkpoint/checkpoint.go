@@ -35,7 +35,10 @@ type State struct {
 }
 
 // Save writes the state atomically: a temp file in the same directory is
-// fsync'd and renamed over the target.
+// fsync'd and renamed over the target, and the parent directory is fsync'd
+// after the rename so the new directory entry itself is durable — without
+// it a crash between rename and the next journal commit can resurrect the
+// old checkpoint (or none at all).
 func Save(path string, s *State) error {
 	s.Version = Version
 	dir := filepath.Dir(path)
@@ -58,6 +61,22 @@ func Save(path string, s *State) error {
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close dir: %w", err)
 	}
 	return nil
 }

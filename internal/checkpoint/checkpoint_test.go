@@ -68,6 +68,40 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveDurability(t *testing.T) {
+	// The parent-directory fsync must not break overwrite-in-place: a
+	// second Save over the same path replaces the first atomically and no
+	// temp file survives.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := Save(path, &State{Name: "a", Round: 1, Global: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, &State{Name: "a", Round: 2, Global: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Round != 2 || back.Global[0] != 2 {
+		t.Fatalf("second Save did not win: %+v", back)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		t.Fatalf("temp files leaked: %v", entries)
+	}
+	// A missing parent directory fails up front (CreateTemp), before any
+	// rename or dir sync could run against it.
+	missing := filepath.Join(dir, "no-such-dir", "run.ckpt")
+	if err := Save(missing, &State{Name: "a"}); err == nil {
+		t.Fatal("Save into a missing directory should error")
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "missing")); !os.IsNotExist(err) {
 		t.Fatalf("missing file should be IsNotExist, got %v", err)

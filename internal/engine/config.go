@@ -13,6 +13,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"fedproxvr/internal/data"
 	"fedproxvr/internal/optim"
@@ -65,6 +66,19 @@ type Config struct {
 	SecureAgg bool
 	// SecureMaskScale is the stddev of mask entries (default 100).
 	SecureMaskScale float64
+	// RoundDeadline, when positive, bounds each round's executor fan-out:
+	// devices that have not reported when it fires are cut from the round
+	// and counted as stragglers (obs.RoundStats.Stragglers), distinct from
+	// failures. The paper's §4.3 time model T·(d_com + d_cmp·τ) makes the
+	// slowest participant set d_cmp for the cohort; a deadline caps that
+	// tail. 0 (the default) waits for every device, exactly as before.
+	RoundDeadline time.Duration
+	// MinReport, when positive, is the quorum K: the round is cut as soon
+	// as K selected devices have reported, the rest counted as stragglers.
+	// The aggregator reweights the reporters by their data shares, so a
+	// quorum-cut round stays a valid Algorithm 1 step over the reporting
+	// subset (the same partial-participation fold as dropout). 0 disables.
+	MinReport int
 	// Seed drives every random choice in the run.
 	Seed int64
 }
@@ -105,6 +119,15 @@ func (c Config) Validate() error {
 	}
 	if c.SecureMaskScale < 0 {
 		return fmt.Errorf("engine: SecureMaskScale must be non-negative, got %v", c.SecureMaskScale)
+	}
+	if c.RoundDeadline < 0 {
+		return fmt.Errorf("engine: RoundDeadline must be non-negative, got %v", c.RoundDeadline)
+	}
+	if c.MinReport < 0 {
+		return fmt.Errorf("engine: MinReport must be non-negative, got %d", c.MinReport)
+	}
+	if c.SecureAgg && (c.RoundDeadline > 0 || c.MinReport > 0) {
+		return fmt.Errorf("engine: SecureAgg cannot combine with RoundDeadline/MinReport: a cut round's absent masks cannot cancel")
 	}
 	return nil
 }

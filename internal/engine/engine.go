@@ -27,6 +27,11 @@ type RoundInfo struct {
 	// round (locals[i] == nil partial results — e.g. a crashed TCP worker).
 	// Devices removed by the engine's own dropout injection do not count.
 	Failed int
+	// Stragglers counts the selected devices cut from the round by the
+	// straggler policy (Config.RoundDeadline / Config.MinReport) — nil
+	// results like failures, but the device is healthy, just late. Always
+	// zero when the policy is off.
+	Stragglers int
 	// Global aliases the current global model — copy before mutating.
 	Global []float64
 	// Series is the series Run is building (points appended so far,
@@ -77,6 +82,9 @@ type Engine struct {
 	stats   StatsRecorder
 	rs      obs.RoundStats // in-flight round record (reused; see FlushStats)
 	ranExec bool           // whether this round reached the executor fan-out
+
+	policy         bool // RoundDeadline or MinReport is set (precomputed)
+	lastStragglers int  // stragglers of the last Step (see StragglerCounter)
 }
 
 // hookEntry pairs a hook with a stable ID so unregistering survives slot
@@ -111,6 +119,7 @@ func New(cfg Config, dim int, weights []float64, exec Executor) (*Engine, error)
 		weights: weights,
 		server:  randx.NewStream(cfg.Seed, 1),
 		w:       make([]float64, dim),
+		policy:  cfg.RoundDeadline > 0 || cfg.MinReport > 0,
 	}
 	switch {
 	case cfg.SecureAgg:
@@ -244,6 +253,15 @@ func (e *Engine) compactHooks() {
 // out the global model is left unchanged. The returned slice aliases an
 // engine buffer and is only valid until the next Step.
 func (e *Engine) Step() ([]int, int, error) {
+	return e.StepCtx(context.Background())
+}
+
+// StepCtx is Step under a caller context. With the straggler policy
+// configured (RoundDeadline/MinReport), the fan-out runs under a
+// deadline-bearing context and late devices come back as stragglers; the
+// failed count it returns includes stragglers (every nil result), with
+// the split available through Stragglers.
+func (e *Engine) StepCtx(ctx context.Context) ([]int, int, error) {
 	// Observability is strictly opt-in: with no recorder installed the
 	// round takes no timing samples and allocates nothing extra (the
 	// BenchmarkEngineRoundAllocs guarantee).
@@ -265,11 +283,17 @@ func (e *Engine) Step() ([]int, int, error) {
 		e.rs.Dropouts = nsel - len(selected)
 		t0 = now
 	}
+	e.lastStragglers = 0
 	if len(selected) == 0 {
 		return selected, 0, nil
 	}
-	locals, err := e.exec.RunClients(e.w, selected)
+	locals, err := e.fanOut(ctx, selected)
 	if err != nil {
+		if stats {
+			// Keep the phase timings taken so far: the aborted round's
+			// partial record is flushed by Run before it returns.
+			e.rs.ExecSeconds = time.Since(t0).Seconds()
+		}
 		return nil, 0, err
 	}
 	if stats {
@@ -292,8 +316,19 @@ func (e *Engine) Step() ([]int, int, error) {
 	}
 	failed := len(selected) - k
 	selected, locals = selected[:k], locals[:k]
+	if e.policy {
+		if sc, ok := e.exec.(StragglerCounter); ok {
+			if n := sc.Stragglers(); n > 0 {
+				if n > failed {
+					n = failed
+				}
+				e.lastStragglers = n
+			}
+		}
+	}
 	if stats {
-		e.rs.Participants, e.rs.Failed = k, failed
+		e.rs.Participants, e.rs.Failed = k, failed-e.lastStragglers
+		e.rs.Stragglers = e.lastStragglers
 	}
 	if k == 0 {
 		return selected, failed, nil
@@ -305,6 +340,27 @@ func (e *Engine) Step() ([]int, int, error) {
 		e.rs.AggSeconds = time.Since(t0).Seconds()
 	}
 	return selected, failed, nil
+}
+
+// Stragglers returns how many of the last Step's non-reporting devices
+// were straggler cuts (deadline/quorum) rather than failures. Zero when
+// the policy is off.
+func (e *Engine) Stragglers() int { return e.lastStragglers }
+
+// fanOut runs the executor for the round. Without a straggler policy it
+// is exactly the historical call — same path, same allocations. With one,
+// the context (bounded by RoundDeadline when set) and the quorum are
+// handed to the executor through the ContextExecutor contract.
+func (e *Engine) fanOut(ctx context.Context, selected []int) ([][]float64, error) {
+	if !e.policy {
+		return e.exec.RunClients(e.w, selected)
+	}
+	if e.cfg.RoundDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.RoundDeadline)
+		defer cancel()
+	}
+	return RunClientsWithPolicy(e.exec, ctx, e.w, selected, e.cfg.MinReport)
 }
 
 // Run executes the remaining global iterations (Rounds minus completed),
@@ -323,8 +379,12 @@ func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
 			return s, err
 		}
 		e.compactHooks()
-		sel, failed, err := e.Step()
+		sel, failed, err := e.StepCtx(ctx)
 		if err != nil {
+			// Flush the aborted round's partial record (round number,
+			// selection and exec timings so far) so a JSONL trace shows the
+			// round that died, not just the rounds before it.
+			e.FlushStats(0)
 			return s, err
 		}
 		t := e.round
@@ -345,7 +405,8 @@ func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
 		if e.liveHooks > 0 {
 			// Hooks get a stable copy: sel aliases the engine's selection
 			// buffer, which the next round overwrites in place.
-			info := RoundInfo{Round: t, Participants: append([]int(nil), sel...), Failed: failed, Global: e.w, Series: s}
+			info := RoundInfo{Round: t, Participants: append([]int(nil), sel...),
+				Failed: failed - e.lastStragglers, Stragglers: e.lastStragglers, Global: e.w, Series: s}
 			for _, he := range e.hooks {
 				if he.h == nil {
 					continue

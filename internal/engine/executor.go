@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedproxvr/internal/data"
@@ -23,8 +25,11 @@ type Device struct {
 	Solver *optim.Solver
 	RNG    *rand.Rand
 
-	local     []float64 // last reported local model w_n^(s)
-	gradEvals int64
+	local []float64 // last reported local model w_n^(s)
+	// gradEvals is atomic because a quorum-cut round's solve can still be
+	// finishing on a pool worker while the engine reads the counter.
+	gradEvals atomic.Int64
+	busy      atomic.Bool // still solving a round that was cut (Parallel only)
 }
 
 // NewDevice builds a device around a private model clone.
@@ -42,12 +47,12 @@ func NewDevice(id int, shard *data.Dataset, m models.Model, seed int64) *Device 
 // returns its reported local model (valid until the next RunRound).
 func (d *Device) RunRound(anchor []float64, cfg optim.LocalConfig) []float64 {
 	n := d.Solver.Solve(d.Shard, anchor, d.local, cfg, d.RNG)
-	d.gradEvals += int64(n)
+	d.gradEvals.Add(int64(n))
 	return d.local
 }
 
 // GradEvals returns the cumulative gradient evaluations of this device.
-func (d *Device) GradEvals() int64 { return d.gradEvals }
+func (d *Device) GradEvals() int64 { return d.gradEvals.Load() }
 
 // Executor runs the selected devices' local solves from the anchor and
 // returns their reported models, locals[i] belonging to selected[i]. The
@@ -70,6 +75,36 @@ type Executor interface {
 	RunClients(anchor []float64, selected []int) ([][]float64, error)
 }
 
+// ContextExecutor is implemented by executors that support the engine's
+// straggler policy (Config.RoundDeadline / Config.MinReport): the round
+// is cut when ctx expires or — with minReport > 0 — as soon as minReport
+// devices have reported. Devices cut out of the round come back as nil
+// partial results, exactly like failures, but the executor counts them
+// separately (see StragglerCounter). minReport ≤ 0 means no quorum cut.
+type ContextExecutor interface {
+	Executor
+	RunClientsCtx(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error)
+}
+
+// StragglerCounter reports how many of the last round's nil results were
+// deadline/quorum cuts rather than failures. Implemented alongside
+// ContextExecutor; the engine subtracts the count from Failed so
+// obs.RoundStats tells a cut device apart from a crashed one.
+type StragglerCounter interface {
+	Stragglers() int
+}
+
+// RunClientsWithPolicy dispatches to RunClientsCtx when the executor
+// supports the straggler policy and falls back to the plain contract
+// otherwise — the compatibility shim that lets pre-policy backends keep
+// working (they simply never cut a round).
+func RunClientsWithPolicy(x Executor, ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	if cx, ok := x.(ContextExecutor); ok {
+		return cx.RunClientsCtx(ctx, anchor, selected, minReport)
+	}
+	return x.RunClients(anchor, selected)
+}
+
 // EvalCounter is implemented by executors that can report the cumulative
 // local gradient evaluations across their devices.
 type EvalCounter interface {
@@ -79,11 +114,12 @@ type EvalCounter interface {
 // Sequential runs the selected devices one after another on the calling
 // goroutine.
 type Sequential struct {
-	devices []*Device
-	local   optim.LocalConfig
-	buf     [][]float64
-	statsOn bool
-	lat     []obs.ClientStat
+	devices    []*Device
+	local      optim.LocalConfig
+	buf        [][]float64
+	statsOn    bool
+	lat        []obs.ClientStat
+	stragglers int
 }
 
 // NewSequential builds the sequential in-process executor.
@@ -94,6 +130,7 @@ func NewSequential(devices []*Device, local optim.LocalConfig) *Sequential {
 // RunClients implements Executor.
 func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	out := growLocals(&s.buf, len(selected))
+	s.stragglers = 0
 	if s.statsOn {
 		s.lat = growStats(s.lat, len(selected))
 		for i, id := range selected {
@@ -110,13 +147,56 @@ func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, 
 	return out, nil
 }
 
+// RunClientsCtx implements ContextExecutor. The sequential schedule
+// cannot preempt a running solve, so the deadline is checked between
+// devices: once ctx expires (or minReport devices have reported) the
+// remaining devices are cut without running — their RNG streams stay
+// untouched, which keeps a cut sequential round bit-identical to the
+// same cut on Parallel when the schedule decides the cut set (see the
+// chaos conformance tests).
+func (s *Sequential) RunClientsCtx(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	out := growLocals(&s.buf, len(selected))
+	if s.statsOn {
+		s.lat = growStats(s.lat, len(selected))
+	}
+	s.stragglers = 0
+	reported := 0
+	for i, id := range selected {
+		if ctx.Err() != nil || (minReport > 0 && reported >= minReport) {
+			out[i] = nil
+			if s.statsOn {
+				s.lat[i] = obs.ClientStat{ID: -1}
+			}
+			s.stragglers++
+			continue
+		}
+		if s.statsOn {
+			t0 := time.Now()
+			out[i] = s.devices[id].RunRound(anchor, s.local)
+			d := time.Since(t0).Seconds()
+			s.lat[i] = obs.ClientStat{ID: id, Seconds: d, SolveSeconds: d}
+		} else {
+			out[i] = s.devices[id].RunRound(anchor, s.local)
+		}
+		reported++
+	}
+	return out, nil
+}
+
+// Stragglers implements StragglerCounter.
+func (s *Sequential) Stragglers() int { return s.stragglers }
+
 // EnableStats implements StatsSource.
 func (s *Sequential) EnableStats(on bool) { s.statsOn = on }
 
 // CollectStats implements StatsSource: per-client solve latencies of the
-// last round.
+// last round (cut devices carry ID -1 and are skipped).
 func (s *Sequential) CollectStats(rs *obs.RoundStats) {
-	rs.Clients = append(rs.Clients, s.lat...)
+	for _, st := range s.lat {
+		if st.ID >= 0 {
+			rs.Clients = append(rs.Clients, st)
+		}
+	}
 }
 
 // GradEvals implements EvalCounter.
@@ -137,6 +217,21 @@ type parJob struct {
 	local  optim.LocalConfig
 	wg     *sync.WaitGroup
 	lat    []obs.ClientStat // nil when stats are off
+
+	// res switches the job to the policy path (RunClientsCtx): the worker
+	// sends its result on res instead of writing out/lat and signaling wg,
+	// so a cut round can stop collecting while late solves finish in the
+	// background. stats mirrors lat != nil for this path.
+	res   chan parResult
+	stats bool
+}
+
+// parResult is one finished solve on the policy path.
+type parResult struct {
+	i     int
+	id    int
+	vec   []float64
+	solve float64
 }
 
 // Parallel fans each round's devices out to a persistent pool of worker
@@ -144,13 +239,14 @@ type parJob struct {
 // round beyond one WaitGroup: the locals buffer and the job channel are
 // reused for the lifetime of the executor (see BenchmarkEngineRoundAllocs).
 type Parallel struct {
-	devices []*Device
-	local   optim.LocalConfig
-	jobs    chan parJob
-	buf     [][]float64
-	once    sync.Once
-	statsOn bool
-	lat     []obs.ClientStat
+	devices    []*Device
+	local      optim.LocalConfig
+	jobs       chan parJob
+	buf        [][]float64
+	once       sync.Once
+	statsOn    bool
+	lat        []obs.ClientStat
+	stragglers int
 }
 
 // NewParallel builds the pooled parallel executor. workers ≤ 0 selects the
@@ -172,6 +268,23 @@ func NewParallel(devices []*Device, local optim.LocalConfig, workers int) *Paral
 
 func parWorker(jobs <-chan parJob) {
 	for j := range jobs {
+		if j.res != nil {
+			// Policy path: deliver on the round's buffered channel. busy is
+			// released before the send so a device whose result loses the
+			// race against a cut is immediately schedulable next round.
+			var t0 time.Time
+			if j.stats {
+				t0 = time.Now()
+			}
+			vec := j.dev.RunRound(j.anchor, j.local)
+			var d float64
+			if j.stats {
+				d = time.Since(t0).Seconds()
+			}
+			j.dev.busy.Store(false)
+			j.res <- parResult{i: j.i, id: j.dev.ID, vec: vec, solve: d}
+			continue
+		}
 		if j.lat != nil {
 			t0 := time.Now()
 			j.out[j.i] = j.dev.RunRound(j.anchor, j.local)
@@ -199,17 +312,102 @@ func (p *Parallel) RunClients(anchor []float64, selected []int) ([][]float64, er
 		p.jobs <- parJob{i: i, dev: p.devices[id], anchor: anchor, out: out, local: p.local, wg: &wg, lat: lat}
 	}
 	wg.Wait()
+	p.stragglers = 0
 	return out, nil
 }
+
+// RunClientsCtx implements ContextExecutor. Results flow through a
+// per-round buffered channel instead of the shared out buffer, so the
+// collector can stop at the deadline or quorum while late solves finish
+// harmlessly in the background: a late worker's send lands in the
+// abandoned round's channel and is dropped with it. A device still
+// solving a previously-cut round (busy) is skipped — and counted as a
+// straggler — rather than raced on its reusable local buffer.
+func (p *Parallel) RunClientsCtx(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	// Abandoned solves outlive the round, so the anchor they read must not
+	// alias the engine's global vector, which the next aggregation mutates.
+	// The snapshot is a fresh slice, not a reused buffer, because a cut
+	// round's workers may still be reading the previous round's snapshot.
+	anchor = append([]float64(nil), anchor...)
+	out := growLocals(&p.buf, len(selected))
+	for i := range out {
+		out[i] = nil
+	}
+	if p.statsOn {
+		p.lat = growStats(p.lat, len(selected))
+		for i := range p.lat {
+			p.lat[i] = obs.ClientStat{ID: -1}
+		}
+	}
+	res := make(chan parResult, len(selected))
+	submitted := 0
+submit:
+	for i, id := range selected {
+		dev := p.devices[id]
+		if !dev.busy.CompareAndSwap(false, true) {
+			continue // still finishing a cut round's solve
+		}
+		j := parJob{i: i, dev: dev, anchor: anchor, local: p.local, res: res, stats: p.statsOn}
+		select {
+		case p.jobs <- j:
+			submitted++
+		case <-ctx.Done():
+			// Every pool worker is occupied past the deadline; don't queue
+			// more work into a round that is already over.
+			dev.busy.Store(false)
+			break submit
+		}
+	}
+	accept := func(r parResult) {
+		out[r.i] = r.vec
+		if p.statsOn {
+			p.lat[r.i] = obs.ClientStat{ID: r.id, Seconds: r.solve, SolveSeconds: r.solve}
+		}
+	}
+	target := submitted
+	if minReport > 0 && minReport < target {
+		target = minReport
+	}
+	got := 0
+collect:
+	for got < target {
+		select {
+		case r := <-res:
+			accept(r)
+			got++
+		case <-ctx.Done():
+			break collect
+		}
+	}
+	// Results that raced the cut and already arrived are real — keep them.
+	for {
+		select {
+		case r := <-res:
+			accept(r)
+			got++
+		default:
+			p.stragglers = len(selected) - got
+			return out, nil
+		}
+	}
+}
+
+// Stragglers implements StragglerCounter.
+func (p *Parallel) Stragglers() int { return p.stragglers }
 
 // EnableStats implements StatsSource.
 func (p *Parallel) EnableStats(on bool) { p.statsOn = on }
 
 // CollectStats implements StatsSource: per-client solve latencies of the
 // last round (written by the pool workers; wg.Wait in RunClients is the
-// synchronization point).
+// synchronization point, the result channel on the policy path). Cut
+// devices carry ID -1 and are skipped.
 func (p *Parallel) CollectStats(rs *obs.RoundStats) {
-	rs.Clients = append(rs.Clients, p.lat...)
+	for _, st := range p.lat {
+		if st.ID >= 0 {
+			rs.Clients = append(rs.Clients, st)
+		}
+	}
 }
 
 // GradEvals implements EvalCounter.

@@ -1,0 +1,229 @@
+// Straggler-policy tests: MinReport/RoundDeadline round cutting at the
+// executor layer, the Failed/Stragglers split the engine reports, and the
+// partial-record flush when a round dies mid-flight.
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"fedproxvr/internal/engine"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/obs"
+)
+
+// TestMinReportSequentialDeterministic: the sequential backend cuts the
+// round after exactly minReport devices, in selection order, so the
+// participant set is deterministic and the remainder are stragglers.
+func TestMinReportSequentialDeterministic(t *testing.T) {
+	p := testPartition(4, 20, 3, 3, 6)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.MinReport = 2
+	cfg.Rounds = 3
+
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), engine.NewSequential(newDevices(p, m, cfg.Seed), cfg.Local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	eng.SetStats(obs.NewCollector(obs.NewJSONL(&trace)))
+	eng.OnRound(func(info engine.RoundInfo) error {
+		if len(info.Participants) != 2 || info.Stragglers != 2 || info.Failed != 0 {
+			return fmt.Errorf("round %d: participants %v, stragglers %d, failed %d — want first 2, 2, 0",
+				info.Round, info.Participants, info.Stragglers, info.Failed)
+		}
+		if info.Participants[0] != 0 || info.Participants[1] != 1 {
+			return fmt.Errorf("round %d: cut is not in selection order: %v", info.Round, info.Participants)
+		}
+		return nil
+	})
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, rs := range decodeRounds(t, &trace) {
+		if rs.Participants != 2 || rs.Stragglers != 2 || rs.Failed != 0 {
+			t.Fatalf("record %d: participants/stragglers/failed %d/%d/%d, want 2/2/0",
+				i, rs.Participants, rs.Stragglers, rs.Failed)
+		}
+		if len(rs.Clients) != 2 {
+			t.Fatalf("record %d: %d client stats, want 2 (cut devices carry no latency)", i, len(rs.Clients))
+		}
+	}
+}
+
+// TestMinReportParallelQuorum: the parallel backend accepts at least the
+// quorum (plus any results that raced the cut) and counts the rest as
+// stragglers; every nil slot must be a straggler, never a failure.
+func TestMinReportParallelQuorum(t *testing.T) {
+	p := testPartition(6, 20, 3, 3, 8)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.MinReport = 2
+	cfg.Rounds = 4
+
+	par := engine.NewParallel(newDevices(p, m, cfg.Seed), cfg.Local, 2)
+	defer par.Close()
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutRounds := 0
+	eng.OnRound(func(info engine.RoundInfo) error {
+		if info.Failed != 0 {
+			return fmt.Errorf("round %d: %d failed — quorum cuts must be stragglers", info.Round, info.Failed)
+		}
+		if got := len(info.Participants); got < cfg.MinReport || got+info.Stragglers != len(p.Clients) {
+			return fmt.Errorf("round %d: %d participants + %d stragglers over %d devices",
+				info.Round, got, info.Stragglers, len(p.Clients))
+		}
+		if info.Stragglers > 0 {
+			cutRounds++
+		}
+		return nil
+	})
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cutRounds == 0 {
+		t.Fatal("no round was quorum-cut — the test is vacuous (pool too fast?)")
+	}
+}
+
+// TestRoundDeadlineOffIsPlainPath: with the policy unset the engine must
+// call the historical RunClients entry point, not the context one — the
+// zero-overhead guarantee behind BenchmarkEngineRoundAllocs.
+func TestRoundDeadlineOffIsPlainPath(t *testing.T) {
+	p := testPartition(2, 10, 3, 3, 9)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.Rounds = 2
+	x := &entryPointSpy{inner: engine.NewSequential(newDevices(p, m, cfg.Seed), cfg.Local)}
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if x.plain == 0 || x.ctx != 0 {
+		t.Fatalf("policy-off run used plain=%d ctx=%d entry points, want plain only", x.plain, x.ctx)
+	}
+	if eng.Stragglers() != 0 {
+		t.Fatalf("policy-off engine reports %d stragglers", eng.Stragglers())
+	}
+}
+
+type entryPointSpy struct {
+	inner      *engine.Sequential
+	plain, ctx int
+}
+
+func (s *entryPointSpy) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	s.plain++
+	return s.inner.RunClients(anchor, selected)
+}
+
+func (s *entryPointSpy) RunClientsCtx(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	s.ctx++
+	return s.inner.RunClientsCtx(ctx, anchor, selected, minReport)
+}
+
+func (s *entryPointSpy) Stragglers() int { return s.inner.Stragglers() }
+
+// TestConfigRejectsBadPolicy: negative knobs and the SecureAgg conflict
+// (a cut round's absent masks cannot cancel) must fail validation.
+func TestConfigRejectsBadPolicy(t *testing.T) {
+	base := conformanceConfigs()["full"]
+	neg := base
+	neg.RoundDeadline = -time.Second
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative RoundDeadline should fail validation")
+	}
+	neg = base
+	neg.MinReport = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative MinReport should fail validation")
+	}
+	sec := base
+	sec.SecureAgg = true
+	sec.MinReport = 2
+	if err := sec.Validate(); err == nil {
+		t.Fatal("SecureAgg with a quorum cut should fail validation")
+	}
+	sec.MinReport = 0
+	sec.RoundDeadline = time.Second
+	if err := sec.Validate(); err == nil {
+		t.Fatal("SecureAgg with a round deadline should fail validation")
+	}
+}
+
+// failingExec errors at a fixed round, mid-fan-out.
+type failingExec struct {
+	inner engine.Executor
+	at    int
+	round int
+}
+
+func (f *failingExec) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	f.round++
+	if f.round == f.at {
+		return nil, fmt.Errorf("executor blew up at round %d", f.round)
+	}
+	return f.inner.RunClients(anchor, selected)
+}
+
+// TestRunFlushesPartialStatsOnError: when Step dies mid-round, Run must
+// still flush the in-flight partial record, so the trace shows the round
+// that died — not just the rounds before it.
+func TestRunFlushesPartialStatsOnError(t *testing.T) {
+	p := testPartition(3, 15, 3, 3, 10)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := conformanceConfigs()["full"]
+	cfg.Rounds = 6
+	const dieAt = 3
+
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(),
+		&failingExec{inner: engine.NewSequential(newDevices(p, m, cfg.Seed), cfg.Local), at: dieAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	eng.SetStats(obs.NewCollector(obs.NewJSONL(&trace)))
+	if _, err := eng.Run(context.Background()); err == nil {
+		t.Fatal("the failing executor should abort the run")
+	}
+	records := decodeRounds(t, &trace)
+	if len(records) != dieAt {
+		t.Fatalf("trace has %d records, want %d (the dying round included)", len(records), dieAt)
+	}
+	last := records[dieAt-1]
+	if last.Round != dieAt {
+		t.Fatalf("last record is round %d, want the aborted round %d", last.Round, dieAt)
+	}
+	if last.Participants != 0 || len(last.Clients) != 0 {
+		t.Fatalf("aborted round record should have no participants: %+v", last)
+	}
+}
+
+func decodeRounds(t *testing.T, r io.Reader) []obs.RoundStats {
+	t.Helper()
+	var records []obs.RoundStats
+	dec := json.NewDecoder(r)
+	for {
+		var rs obs.RoundStats
+		if err := dec.Decode(&rs); err != nil {
+			if errors.Is(err, io.EOF) {
+				return records
+			}
+			t.Fatalf("trace decode: %v", err)
+		}
+		records = append(records, rs)
+	}
+}

@@ -37,10 +37,13 @@ type RoundStats struct {
 	Round        int `json:"round"`
 	Participants int `json:"participants"`
 	// Failed counts selected devices whose executor run failed (crashed TCP
-	// worker, exhausted retries); Dropouts counts devices removed by the
+	// worker, exhausted retries); Stragglers counts devices cut from the
+	// round by the straggler policy (RoundDeadline/MinReport) — healthy but
+	// late, distinct from failed; Dropouts counts devices removed by the
 	// engine's own failure injection before the fan-out.
-	Failed   int `json:"failed"`
-	Dropouts int `json:"dropouts"`
+	Failed     int `json:"failed"`
+	Stragglers int `json:"stragglers"`
+	Dropouts   int `json:"dropouts"`
 	// Retries counts round-request resends after application-level worker
 	// errors; Rejoins counts replacement connections adopted this round.
 	// Both are zero for in-process backends.

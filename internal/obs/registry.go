@@ -16,9 +16,9 @@ type Registry struct {
 	round        int // gauge: last completed round
 	participants int // gauge: last round's cohort size
 
-	rounds, failed, dropouts, retries, rejoins int64
-	gradEvals, bytesSent, bytesRecv            int64
-	selectSec, execSec, aggSec, evalSec        float64
+	rounds, failed, stragglers, dropouts, retries, rejoins int64
+	gradEvals, bytesSent, bytesRecv                        int64
+	selectSec, execSec, aggSec, evalSec                    float64
 }
 
 // RecordRound implements Sink.
@@ -29,6 +29,7 @@ func (r *Registry) RecordRound(rs *RoundStats) {
 	r.participants = rs.Participants
 	r.rounds++
 	r.failed += int64(rs.Failed)
+	r.stragglers += int64(rs.Stragglers)
 	r.dropouts += int64(rs.Dropouts)
 	r.retries += int64(rs.Retries)
 	r.rejoins += int64(rs.Rejoins)
@@ -66,6 +67,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	p("# HELP fed_participants Devices that reported in the last round.\n# TYPE fed_participants gauge\nfed_participants %d\n", r.participants)
 	p("# HELP fed_rounds_total Completed federated rounds.\n# TYPE fed_rounds_total counter\nfed_rounds_total %d\n", r.rounds)
 	p("# HELP fed_failed_total Selected devices whose round failed.\n# TYPE fed_failed_total counter\nfed_failed_total %d\n", r.failed)
+	p("# HELP fed_stragglers_total Devices cut from a round by the straggler policy.\n# TYPE fed_stragglers_total counter\nfed_stragglers_total %d\n", r.stragglers)
 	p("# HELP fed_dropouts_total Devices removed by dropout injection.\n# TYPE fed_dropouts_total counter\nfed_dropouts_total %d\n", r.dropouts)
 	p("# HELP fed_retries_total Round-request retries after application-level worker errors.\n# TYPE fed_retries_total counter\nfed_retries_total %d\n", r.retries)
 	p("# HELP fed_rejoins_total Replacement worker connections adopted.\n# TYPE fed_rejoins_total counter\nfed_rejoins_total %d\n", r.rejoins)

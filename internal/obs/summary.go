@@ -18,8 +18,8 @@ type Summary struct {
 
 	selectSec, execSec, aggSec, evalSec float64
 
-	participants, failed, dropouts, retries, rejoins int64
-	gradEvals, bytesSent, bytesRecv                  int64
+	participants, failed, stragglers, dropouts, retries, rejoins int64
+	gradEvals, bytesSent, bytesRecv                              int64
 }
 
 // RecordRound implements Sink.
@@ -33,6 +33,7 @@ func (s *Summary) RecordRound(rs *RoundStats) {
 	s.evalSec += rs.EvalSeconds
 	s.participants += int64(rs.Participants)
 	s.failed += int64(rs.Failed)
+	s.stragglers += int64(rs.Stragglers)
 	s.dropouts += int64(rs.Dropouts)
 	s.retries += int64(rs.Retries)
 	s.rejoins += int64(rs.Rejoins)
@@ -77,10 +78,10 @@ func (s *Summary) WriteTable(w io.Writer) error {
 		return err
 	}
 	_, err := fmt.Fprintf(w,
-		"rounds %d · mean participants %.1f · failed %d · dropouts %d · retries %d · rejoins %d\n"+
+		"rounds %d · mean participants %.1f · failed %d · stragglers %d · dropouts %d · retries %d · rejoins %d\n"+
 			"grad evals %d · bytes sent %d · bytes received %d\n",
 		s.rounds, float64(s.participants)/float64(s.rounds),
-		s.failed, s.dropouts, s.retries, s.rejoins,
+		s.failed, s.stragglers, s.dropouts, s.retries, s.rejoins,
 		s.gradEvals, s.bytesSent, s.bytesRecv)
 	return err
 }

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -92,6 +93,35 @@ func (x *TimedExecutor) RunClients(anchor []float64, selected []int) ([][]float6
 	return locals, nil
 }
 
+// RunClientsCtx implements engine.ContextExecutor by forwarding the
+// straggler policy to the inner executor. The simulated clock still
+// charges only the reporting subset: a cut straggler contributes no
+// completed compute + uplink, mirroring RunClients' treatment of
+// failures.
+func (x *TimedExecutor) RunClientsCtx(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	locals, err := engine.RunClientsWithPolicy(x.inner, ctx, anchor, selected, minReport)
+	if err != nil {
+		return nil, err
+	}
+	x.part = x.part[:0]
+	for i, l := range locals {
+		if l != nil {
+			x.part = append(x.part, selected[i])
+		}
+	}
+	x.now += x.fleet.RoundTime(x.part, x.tau)
+	return locals, nil
+}
+
+// Stragglers implements engine.StragglerCounter when the inner executor
+// does.
+func (x *TimedExecutor) Stragglers() int {
+	if sc, ok := x.inner.(engine.StragglerCounter); ok {
+		return sc.Stragglers()
+	}
+	return 0
+}
+
 // GradEvals implements engine.EvalCounter when the inner executor does.
 func (x *TimedExecutor) GradEvals() int64 {
 	if ec, ok := x.inner.(engine.EvalCounter); ok {
@@ -166,6 +196,9 @@ func Train(r *core.Runner, fleet *Fleet, measureEvery int) (*TimedSeries, error)
 	for t := 1; t <= cfg.Rounds; t++ {
 		sel, failed, err := eng.Step()
 		if err != nil {
+			// Flush the partial in-flight round record so the trace shows
+			// how far the failing round got before aborting.
+			eng.FlushStats(0)
 			return out, err
 		}
 		var evalSec float64

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -80,6 +81,7 @@ type Coordinator struct {
 	onFault func(clientID int, err error)
 
 	mu           sync.Mutex          // guards pending, dead flags cross-goroutine, retired counters
+	rejoined     *sync.Cond          // signaled (on mu) when a replacement connection arrives
 	pending      map[int]*clientConn // rejoined workers awaiting adoption at the next round
 	retiredSent  int64               // bandwidth of replaced connections
 	retiredRecv  int64
@@ -154,6 +156,7 @@ func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*
 		fault:   DefaultFaultPolicy(),
 		pending: make(map[int]*clientConn),
 	}
+	c.rejoined = sync.NewCond(&c.mu)
 	seen := make(map[int]bool)
 	for len(c.clients) < numClients {
 		conn, err := ln.Accept()
@@ -249,6 +252,7 @@ func (c *Coordinator) handleRejoin(conn net.Conn) {
 		prev.conn.Close()
 	}
 	c.pending[cc.id] = cc
+	c.rejoined.Broadcast()
 }
 
 // adoptRejoined swaps pending replacement connections into the cohort.
@@ -265,29 +269,38 @@ func (c *Coordinator) adoptRejoined() {
 		delete(c.pending, id)
 		c.obsRejoins++
 	}
+	c.rejoined.Broadcast()
 }
 
 // AwaitRejoin blocks until a replacement connection for client id is live
-// or pending adoption, polling until timeout. It is a convenience for
-// tests and operational tooling; training itself never waits — a rejoined
-// worker is simply picked up at the next round.
+// or pending adoption, or until timeout. It is a convenience for tests
+// and operational tooling; training itself never waits — a rejoined
+// worker is simply picked up at the next round. The wait parks on a
+// condition variable signaled by the rejoin accept path (no polling).
 func (c *Coordinator) AwaitRejoin(id int, timeout time.Duration) error {
 	if id < 0 || id >= len(c.clients) {
 		return fmt.Errorf("transport: no client %d", id)
 	}
 	deadline := time.Now().Add(timeout)
-	for {
+	// sync.Cond has no timed wait; a timer broadcast wakes the loop so it
+	// can observe the deadline. Taking mu orders the wakeup after the
+	// waiter is parked, so the broadcast cannot be lost.
+	timer := time.AfterFunc(timeout, func() {
 		c.mu.Lock()
-		_, queued := c.pending[id]
-		ok := queued || !c.clients[id].dead
+		c.rejoined.Broadcast()
 		c.mu.Unlock()
-		if ok {
+	})
+	defer timer.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if _, queued := c.pending[id]; queued || !c.clients[id].dead {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if !time.Now().Before(deadline) {
 			return fmt.Errorf("transport: client %d did not rejoin within %v", id, timeout)
 		}
-		time.Sleep(5 * time.Millisecond)
+		c.rejoined.Wait()
 	}
 }
 
@@ -307,7 +320,7 @@ func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][
 		all[i] = i
 	}
 	locals := make([][]float64, len(c.clients))
-	if _, err := c.roundSubset(round, anchor, local.Local, all, locals, nil); err != nil {
+	if _, _, err := c.roundSubset(context.Background(), round, anchor, local.Local, all, locals, nil, 0); err != nil {
 		return nil, err
 	}
 	return locals, nil
@@ -316,6 +329,17 @@ func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][
 // errWorkerDown marks a worker skipped because its connection was already
 // torn down in an earlier round (it counts as a dropout, not a new fault).
 var errWorkerDown = fmt.Errorf("transport: worker connection is down")
+
+// errStraggler wraps a network timeout attributable to the round deadline
+// or a quorum cut rather than the flat per-connection timeout: the worker
+// is healthy but late. Its connection is still torn down (a gob stream
+// cannot abandon a mid-flight exchange), and it rejoins between rounds.
+var errStraggler = errors.New("transport: cut from the round as a straggler")
+
+// errRoundCut marks a worker that was between retry attempts when the
+// round was cut. Unlike errStraggler the stream is still framed (the last
+// reply was fully read), so the connection survives into the next round.
+var errRoundCut = errors.New("transport: round over before retry")
 
 // roundSubset runs one round against the selected workers only (partial
 // participation), filling locals[i] with selected[i]'s reported model —
@@ -328,16 +352,72 @@ var errWorkerDown = fmt.Errorf("transport: worker connection is down")
 // returned. The returned error is non-nil only when the run cannot
 // continue: the whole cohort is dead, or fewer than MinParticipants
 // reported for more than MaxFailedRounds consecutive rounds.
-func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.LocalConfig, selected []int, locals [][]float64, evals []int64) (failed int, err error) {
+//
+// The straggler policy arrives through ctx and quorum: a ctx deadline
+// bounds every in-flight exchange (per-message deadlines are clamped to
+// it), and quorum > 0 cuts the round as soon as that many workers have
+// reported, force-expiring the laggards' connections. Workers cut either
+// way are counted in stragglers, not failed. Mid-round cancellation of a
+// deadline-less ctx is deliberately not propagated — tearing down healthy
+// connections on a Ctrl-C between rounds would turn a clean stop into a
+// fault storm; the engine already stops between rounds.
+func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float64, local optim.LocalConfig, selected []int, locals [][]float64, evals []int64, quorum int) (failed, stragglers int, err error) {
 	obsOn := c.obsOn.Load()
 	if obsOn {
 		c.resetRoundObs(len(selected))
 	}
 	c.adoptRejoined()
+	roundDL, hasDL := ctx.Deadline()
 	a64, a32 := quantize(c.codec, anchor)
 	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local}
 	errs := make([]error, len(selected))
+	var cut atomic.Bool
 	var wg sync.WaitGroup
+
+	// Quorum plumbing: workers signal sig as they report; a watcher cuts
+	// the round at quorum by force-expiring the connections still pending
+	// (their blocked reads fail with a timeout classified as a straggler
+	// cut). done marks finished workers so the watcher leaves them alone.
+	inFlight := 0
+	for _, id := range selected {
+		if !c.clients[id].dead {
+			inFlight++
+		}
+	}
+	useQuorum := quorum > 0 && quorum < inFlight
+	var sig chan struct{}
+	var done []atomic.Bool
+	watchDone := make(chan struct{})
+	stopWatch := make(chan struct{})
+	if useQuorum {
+		sig = make(chan struct{}, len(selected))
+		done = make([]atomic.Bool, len(selected))
+		go func() {
+			defer close(watchDone)
+			got := 0
+			for {
+				select {
+				case <-sig:
+					got++
+					if got >= quorum {
+						cut.Store(true)
+						past := time.Now().Add(-time.Hour)
+						for i, id := range selected {
+							if !done[i].Load() {
+								c.clients[id].conn.SetDeadline(past)
+							}
+						}
+						return
+					}
+				case <-stopWatch:
+					return
+				}
+			}
+		}()
+	} else {
+		close(watchDone)
+	}
+
 	for i, id := range selected {
 		cc := c.clients[id]
 		locals[i] = nil
@@ -348,46 +428,76 @@ func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.Local
 		wg.Add(1)
 		go func(i int, cc *clientConn) {
 			defer wg.Done()
-			if !obsOn {
-				locals[i], _, errs[i] = c.askWorker(cc, round, &req, len(anchor), evals)
-				return
-			}
-			t0 := time.Now()
-			vec, solve, werr := c.askWorker(cc, round, &req, len(anchor), evals)
-			if werr == nil {
-				// Distinct goroutines write distinct i — no lock needed.
-				c.obsLat[i] = obs.ClientStat{
-					ID:           cc.id,
-					Seconds:      time.Since(t0).Seconds(),
-					SolveSeconds: solve,
+			var vec []float64
+			var solve float64
+			var werr error
+			if obsOn {
+				t0 := time.Now()
+				vec, solve, werr = c.askWorker(cc, round, &req, len(anchor), evals, roundDL, hasDL, &cut)
+				if werr == nil {
+					// Distinct goroutines write distinct i — no lock needed.
+					c.obsLat[i] = obs.ClientStat{
+						ID:           cc.id,
+						Seconds:      time.Since(t0).Seconds(),
+						SolveSeconds: solve,
+					}
 				}
+			} else {
+				vec, _, werr = c.askWorker(cc, round, &req, len(anchor), evals, roundDL, hasDL, &cut)
+			}
+			if done != nil {
+				done[i].Store(true)
+			}
+			if sig != nil && werr == nil {
+				sig <- struct{}{}
 			}
 			locals[i], errs[i] = vec, werr
 		}(i, cc)
 	}
 	wg.Wait()
+	close(stopWatch)
+	// Join the watcher before returning: the next round's adoptRejoined may
+	// swap c.clients entries the cut branch indexes.
+	<-watchDone
+
+	teardown := func(cc *clientConn) {
+		if cc.dead {
+			return
+		}
+		// The gob stream is unusable after a failed exchange: tear the
+		// connection down. The worker rejoins with a fresh Hello.
+		cc.conn.Close()
+		c.mu.Lock()
+		cc.dead = true
+		c.mu.Unlock()
+	}
 	reported := 0
 	for i, werr := range errs {
 		if werr == nil {
 			reported++
 			continue
 		}
-		failed++
 		cc := c.clients[selected[i]]
-		if !cc.dead && werr != errWorkerDown {
-			// The gob stream is unusable after a failed exchange: tear the
-			// connection down. The worker rejoins with a fresh Hello.
-			cc.conn.Close()
-			c.mu.Lock()
-			cc.dead = true
-			c.mu.Unlock()
-		}
-		if c.onFault != nil && werr != errWorkerDown {
-			c.onFault(cc.id, werr)
+		switch {
+		case werr == errWorkerDown:
+			failed++
+		case errors.Is(werr, errRoundCut):
+			// Caught between retry attempts by the cut: the stream is still
+			// framed, so the connection survives into the next round.
+			stragglers++
+		case errors.Is(werr, errStraggler):
+			stragglers++
+			teardown(cc)
+		default:
+			failed++
+			teardown(cc)
+			if c.onFault != nil {
+				c.onFault(cc.id, werr)
+			}
 		}
 	}
 	if c.liveWorkers() == 0 {
-		return failed, fmt.Errorf("transport: round %d: every worker is dead (last error: %w)", round, firstError(errs))
+		return failed, stragglers, fmt.Errorf("transport: round %d: every worker is dead (last error: %w)", round, firstError(errs))
 	}
 	if reported < c.fault.MinParticipants {
 		// Below quorum: discard the round (survivor results included) so
@@ -395,31 +505,36 @@ func (c *Coordinator) roundSubset(round int, anchor []float64, local optim.Local
 		for i := range selected {
 			locals[i] = nil
 		}
-		failed = len(selected)
+		failed, stragglers = len(selected), 0
 		c.skippedRound++
 		if c.skippedRound > c.fault.MaxFailedRounds {
-			return failed, fmt.Errorf("transport: %d consecutive rounds below the %d-participant quorum (last error: %w)",
+			return failed, stragglers, fmt.Errorf("transport: %d consecutive rounds below the %d-participant quorum (last error: %w)",
 				c.skippedRound, c.fault.MinParticipants, firstError(errs))
 		}
-		return failed, nil
+		return failed, stragglers, nil
 	}
 	c.skippedRound = 0
-	return failed, nil
+	return failed, stragglers, nil
 }
 
 // askWorker performs one worker's round exchange with bounded retry.
 // solveSec is the worker-reported local-solve duration of the successful
-// attempt (zero on failure).
-func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) (vec []float64, solveSec float64, err error) {
+// attempt (zero on failure). Retries are abandoned once the round is cut
+// (quorum reached or the round deadline passed) — the reply would be
+// discarded anyway.
+func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64, roundDL time.Time, hasDL bool, cut *atomic.Bool) (vec []float64, solveSec float64, err error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.fault.MaxRetries; attempt++ {
 		if attempt > 0 {
+			if cut.Load() || (hasDL && !time.Now().Before(roundDL)) {
+				return nil, 0, errRoundCut
+			}
 			c.obsRetries.Add(1)
 			if c.fault.RetryBackoff > 0 {
 				time.Sleep(c.fault.RetryBackoff)
 			}
 		}
-		vec, solve, err, retriable := c.exchange(cc, round, req, dim, evals)
+		vec, solve, err, retriable := c.exchange(cc, round, req, dim, evals, roundDL, hasDL, cut)
 		if err == nil {
 			return vec, solve, nil
 		}
@@ -434,20 +549,40 @@ func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, di
 // exchange is a single request/reply attempt. retriable distinguishes
 // application-level failures (worker panic, wrong-round reply — the stream
 // is still framed, so a resend can succeed) from network-level ones (the
-// gob stream is torn; the caller must drop the connection).
-func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64) (vec []float64, solveSec float64, err error, retriable bool) {
+// gob stream is torn; the caller must drop the connection). The per-message
+// deadline is the flat timeout clamped to the round deadline; a timeout
+// attributable to the round deadline or a quorum cut is wrapped in
+// errStraggler so the caller can tell a late worker from a dead one.
+func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64, roundDL time.Time, hasDL bool, cut *atomic.Bool) (vec []float64, solveSec float64, err error, retriable bool) {
+	var dl time.Time
 	if c.timeout > 0 {
-		cc.conn.SetDeadline(time.Now().Add(c.timeout))
+		dl = time.Now().Add(c.timeout)
+	}
+	dlIsRound := false
+	if hasDL && (dl.IsZero() || roundDL.Before(dl)) {
+		dl = roundDL
+		dlIsRound = true
+	}
+	if !dl.IsZero() {
+		cc.conn.SetDeadline(dl)
 		// Clear the absolute deadline on every exit path: a deadline left
 		// armed after an error would spuriously time out the next round.
 		defer cc.conn.SetDeadline(time.Time{})
 	}
+	wrap := func(op string, cause error) error {
+		perr := protocolError(fmt.Sprintf("%s client %d", op, cc.id), cause)
+		var ne net.Error
+		if errors.As(cause, &ne) && ne.Timeout() && (dlIsRound || cut.Load()) {
+			return fmt.Errorf("%w: %v", errStraggler, perr)
+		}
+		return perr
+	}
 	if err := cc.enc.Encode(req); err != nil {
-		return nil, 0, protocolError(fmt.Sprintf("send to client %d", cc.id), err), false
+		return nil, 0, wrap("send to", err), false
 	}
 	var rep RoundReply
 	if err := cc.dec.Decode(&rep); err != nil {
-		return nil, 0, protocolError(fmt.Sprintf("recv from client %d", cc.id), err), false
+		return nil, 0, wrap("recv from", err), false
 	}
 	if rep.Err != "" {
 		return nil, 0, fmt.Errorf("transport: client %d: %s", cc.id, rep.Err), true
@@ -540,6 +675,8 @@ type Executor struct {
 	buf   [][]float64
 	evals []int64
 
+	stragglers int
+
 	statsOn  bool
 	lastSent int64 // Bandwidth baseline so CollectStats reports deltas
 	lastRecv int64
@@ -556,16 +693,32 @@ func (c *Coordinator) Executor(local optim.LocalConfig) *Executor {
 // the engine aggregates the survivors. The error is non-nil only when the
 // run cannot continue (dead cohort, exhausted quorum).
 func (x *Executor) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	return x.run(context.Background(), anchor, selected, 0)
+}
+
+// RunClientsCtx implements engine.ContextExecutor: the coordinator cuts
+// the round when ctx's deadline fires or minReport workers have reported,
+// returning the laggards as nil partial results counted in Stragglers.
+func (x *Executor) RunClientsCtx(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
+	return x.run(ctx, anchor, selected, minReport)
+}
+
+func (x *Executor) run(ctx context.Context, anchor []float64, selected []int, quorum int) ([][]float64, error) {
 	x.round++
 	if cap(x.buf) < len(selected) {
 		x.buf = make([][]float64, len(selected))
 	}
 	out := x.buf[:len(selected)]
-	if _, err := x.c.roundSubset(x.round, anchor, x.local, selected, out, x.evals); err != nil {
+	_, stragglers, err := x.c.roundSubset(ctx, x.round, anchor, x.local, selected, out, x.evals, quorum)
+	x.stragglers = stragglers
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
+
+// Stragglers implements engine.StragglerCounter.
+func (x *Executor) Stragglers() int { return x.stragglers }
 
 // GradEvals implements engine.EvalCounter: the sum of every worker's last
 // reported cumulative gradient-evaluation count.

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"fedproxvr/internal/chaos"
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/data"
 	"fedproxvr/internal/models"
@@ -19,9 +20,27 @@ import (
 type Worker struct {
 	id     int
 	device *core.Device
+	shard  *data.Dataset
+	addr   string
 	conn   net.Conn
 	enc    *gob.Encoder
 	dec    *gob.Decoder
+
+	// Chaos injection (nil for plain workers). cconn is the chaos wrapper
+	// around conn when sched != nil, kept so Delay events can arm it.
+	sched *chaos.Schedule
+	cconn *chaos.Conn
+	// flaked remembers rounds whose injected flake already fired, so the
+	// coordinator's retry of the same round succeeds (flake-once semantics).
+	flaked map[int]bool
+
+	// Rejoin policy: after an unclean connection loss the worker re-dials
+	// the coordinator up to rejoinAttempts times, spaced by rejoinBackoff,
+	// and is adopted back at the next round boundary. Zero attempts keeps
+	// the historical die-on-disconnect behavior.
+	rejoinAttempts int
+	rejoinBackoff  time.Duration
+	outageTries    int
 }
 
 // NewWorker connects to addr and performs the Hello handshake. The same
@@ -32,39 +51,129 @@ type Worker struct {
 // equivalent to, not bit-identical with, an uninterrupted one (matching
 // the documented checkpoint-resume semantics).
 func NewWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64) (*Worker, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, protocolError("dial", err)
-	}
+	return newWorker(addr, id, shard, m, seed, nil)
+}
+
+// NewChaosWorker is NewWorker with a fault schedule: before solving each
+// round the worker looks up ActionFor(id, round) and enforces the event on
+// the wire — killing the connection (Crash/Partition), failing once
+// (Flake), delaying its reply (Delay), or corrupting its update (Corrupt).
+// Because the in-process chaos decorator injects the same faults at the
+// same (device, round) points without consuming device RNG, a chaos run is
+// bit-identical across the sequential, parallel, and TCP backends.
+//
+// Chaos workers default to rejoining after injected kills (40 attempts,
+// 25ms apart) so Crash and Partition events are per-round outages rather
+// than permanent losses; tune with SetRejoin.
+func NewChaosWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, sched *chaos.Schedule) (*Worker, error) {
+	return newWorker(addr, id, shard, m, seed, sched)
+}
+
+func newWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, sched *chaos.Schedule) (*Worker, error) {
 	w := &Worker{
 		id:     id,
 		device: core.NewDevice(id, shard, m, seed),
-		conn:   conn,
-		enc:    gob.NewEncoder(conn),
-		dec:    gob.NewDecoder(conn),
+		shard:  shard,
+		addr:   addr,
+		sched:  sched,
 	}
-	if err := w.enc.Encode(&Hello{ClientID: id, NumSamples: shard.N()}); err != nil {
-		conn.Close()
-		return nil, protocolError("hello", err)
+	if sched != nil {
+		w.flaked = make(map[int]bool)
+		w.rejoinAttempts = 40
+		w.rejoinBackoff = 25 * time.Millisecond
+	}
+	if err := w.dial(); err != nil {
+		return nil, err
 	}
 	return w, nil
 }
 
+// SetRejoin configures how persistently the worker re-dials the
+// coordinator after losing its connection. attempts == 0 disables
+// rejoining (the historical behavior for plain workers).
+func (w *Worker) SetRejoin(attempts int, backoff time.Duration) {
+	w.rejoinAttempts = attempts
+	w.rejoinBackoff = backoff
+}
+
+// dial (re)establishes the connection and performs the Hello handshake.
+// The chaos wrapper, when present, must be installed before the gob
+// encoders are built: gob streams carry type definitions once, so
+// swapping the writer mid-stream would corrupt the protocol.
+func (w *Worker) dial() error {
+	conn, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return protocolError("dial", err)
+	}
+	w.conn = conn
+	w.cconn = nil
+	if w.sched != nil {
+		w.cconn = chaos.NewConn(conn)
+		w.conn = w.cconn
+	}
+	w.enc = gob.NewEncoder(w.conn)
+	w.dec = gob.NewDecoder(w.conn)
+	if err := w.enc.Encode(&Hello{ClientID: w.id, NumSamples: w.shard.N()}); err != nil {
+		conn.Close()
+		return protocolError("hello", err)
+	}
+	return nil
+}
+
 // Serve processes round requests until the coordinator sends Done or the
-// connection closes. A clean shutdown (Done or EOF) returns nil.
+// connection closes. A clean shutdown (Done or EOF) returns nil. With a
+// rejoin policy, connection losses trigger re-dials before giving up.
 func (w *Worker) Serve() error {
-	defer w.conn.Close()
+	defer func() { w.conn.Close() }()
+	for {
+		again, err := w.serveConn()
+		if !again || err != nil {
+			return err
+		}
+	}
+}
+
+// serveConn runs the request loop on the current connection. It returns
+// (true, nil) when the worker rejoined on a fresh connection and the loop
+// should continue.
+func (w *Worker) serveConn() (rejoin bool, err error) {
 	for {
 		var req RoundRequest
 		if err := w.dec.Decode(&req); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return protocolError("recv", err)
+			return w.lost(err)
 		}
 		if req.Done {
-			return nil
+			return false, nil
 		}
+		w.outageTries = 0
+
+		var ev chaos.Event
+		var chaotic bool
+		if w.sched != nil {
+			ev, chaotic = w.sched.ActionFor(w.id, req.Round)
+		}
+		if chaotic {
+			switch ev.Kind {
+			case chaos.Crash, chaos.Partition:
+				// Kill before solving: the device RNG stays untouched this
+				// round, matching the in-process decorator, which skips the
+				// device entirely.
+				w.killConn()
+				return w.lost(net.ErrClosed)
+			case chaos.Flake:
+				if !w.flaked[req.Round] {
+					w.flaked[req.Round] = true
+					rep := RoundReply{ClientID: w.id, Round: req.Round, Err: "chaos: injected flake"}
+					if err := w.enc.Encode(&rep); err != nil {
+						return w.lost(err)
+					}
+					continue
+				}
+			case chaos.Delay:
+				w.cconn.ArmWriteDelay(ev.Delay())
+			}
+		}
+
 		rep := RoundReply{ClientID: w.id, Round: req.Round}
 		func() {
 			defer func() {
@@ -75,13 +184,55 @@ func (w *Worker) Serve() error {
 			start := time.Now()
 			local := w.device.RunRound(req.AnchorVec(), req.Local)
 			rep.SolveSeconds = time.Since(start).Seconds()
+			if chaotic && ev.Kind == chaos.Corrupt {
+				cp := append([]float64(nil), local...)
+				w.sched.CorruptVec(ev, cp)
+				local = cp
+			}
 			rep.Local, rep.Local32 = quantize(req.Codec, local)
 			rep.GradEvals = w.device.GradEvals()
 		}()
 		if err := w.enc.Encode(&rep); err != nil {
-			return protocolError("send", err)
+			return w.lost(err)
 		}
 	}
+}
+
+// killConn drops the connection abruptly (RST when possible), simulating
+// a process crash or network partition.
+func (w *Worker) killConn() {
+	if w.cconn != nil {
+		w.cconn.Kill()
+		return
+	}
+	w.conn.Close()
+}
+
+// lost handles a connection loss: clean closes (Done/EOF/ErrClosed) with
+// no rejoin policy end Serve with nil, other errors propagate. With a
+// rejoin policy the worker re-dials; a refused dial means the coordinator
+// is gone, so the worker gives up immediately rather than burn the
+// remaining attempts.
+func (w *Worker) lost(cause error) (rejoin bool, err error) {
+	clean := errors.Is(cause, io.EOF) || errors.Is(cause, net.ErrClosed)
+	if w.rejoinAttempts <= 0 {
+		if clean {
+			return false, nil
+		}
+		return false, protocolError("recv", cause)
+	}
+	w.conn.Close()
+	for w.outageTries < w.rejoinAttempts {
+		w.outageTries++
+		time.Sleep(w.rejoinBackoff)
+		if err := w.dial(); err == nil {
+			return true, nil
+		}
+	}
+	if clean {
+		return false, nil
+	}
+	return false, protocolError("recv", cause)
 }
 
 func toErrString(r interface{}) string {
