@@ -5,7 +5,7 @@ GO ?= go
 # wedging CI at the default 10-minute package deadline.
 TESTFLAGS ?= -timeout 120s
 
-.PHONY: build test vet race check bench bench-all chaos
+.PHONY: build test vet fmt race check bench bench-all chaos trace-demo
 
 build:
 	$(GO) build ./...
@@ -16,14 +16,28 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt fails (listing the offenders) if any tracked Go file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # race runs the full suite under the race detector — the parallel executor
 # and the TCP coordinator (including the transport fault-injection and
 # rejoin tests) are the packages that exercise real concurrency.
 race:
 	$(GO) test -race $(TESTFLAGS) ./...
 
-# check is the CI gate: static analysis plus the race-enabled suite.
-check: vet race
+# check is the CI gate: formatting, static analysis, the race-enabled suite.
+check: fmt vet race
+
+# trace-demo runs a short traced experiment and validates that the emitted
+# Chrome trace-event JSON still parses and is internally consistent (every
+# parent_id resolves), so the Perfetto export format can't silently rot.
+TRACE_DEMO_OUT ?= trace-demo.json
+trace-demo:
+	$(GO) run ./cmd/fedsim -dataset synthetic -alg sarah -rounds 3 -tau 5 \
+		-trace-spans $(TRACE_DEMO_OUT) -csv /dev/null
+	$(GO) run ./cmd/tracecheck -min-spans 10 $(TRACE_DEMO_OUT)
 
 # chaos runs the seeded fault-injection suite under the race detector: the
 # declarative-schedule conformance tests (bit-identical models across the

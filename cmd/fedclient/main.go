@@ -30,6 +30,7 @@ func main() {
 		chaosPath = flag.String("chaos", "", "inject faults from this JSON schedule (see internal/chaos)")
 		rejoin    = flag.Int("rejoin", -1, "re-dial attempts after losing the server (-1 = default: 0, or 40 with -chaos)")
 		rejoinGap = flag.Duration("rejoin-backoff", 25*time.Millisecond, "pause between re-dial attempts")
+		spans     = flag.Bool("trace-spans", false, "record solve spans and ship them to a tracing server")
 	)
 	flag.Parse()
 
@@ -61,6 +62,9 @@ func main() {
 	}
 	if *rejoin >= 0 {
 		worker.SetRejoin(*rejoin, *rejoinGap)
+	}
+	if *spans {
+		worker.EnableTrace()
 	}
 	if err := worker.Serve(); err != nil {
 		fatal(err)

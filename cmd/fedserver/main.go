@@ -24,6 +24,7 @@ import (
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/engine"
 	"fedproxvr/internal/obs"
+	"fedproxvr/internal/trace"
 	"fedproxvr/internal/transport"
 )
 
@@ -47,8 +48,11 @@ func main() {
 		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before each retry")
 		quorum   = flag.Int("quorum", 1, "minimum workers that must report, or the round is skipped")
 		maxSkip  = flag.Int("max-failed-rounds", 3, "consecutive sub-quorum rounds tolerated before aborting")
-		admin    = flag.String("admin", "", "HTTP admin address serving /metrics, /healthz, /debug/pprof/ (empty = off)")
-		trace    = flag.String("trace", "", "write one JSONL system record per round to this path")
+		admin    = flag.String("admin", "", "HTTP admin address serving /metrics, /healthz, /buildz, /debug/pprof/ (empty = off)")
+		staleAft = flag.Duration("health-stale-after", 0, "/healthz reports stale (503) this long after the last round (0 = off)")
+		tracePth = flag.String("trace", "", "write one JSONL system record per round to this path")
+		spansPth = flag.String("trace-spans", "", "write a Chrome trace-event JSON (open in Perfetto) to this path")
+		spanLog  = flag.String("span-log", "", "write the span trace as JSONL to this path")
 		deadline = flag.Duration("round-deadline", 0, "cut each round after this wall-clock budget (0 = wait for everyone)")
 		minRep   = flag.Int("min-report", 0, "cut each round once this many workers reported (0 = wait for everyone)")
 	)
@@ -100,12 +104,12 @@ func main() {
 	// started; the summary table prints after the run.
 	var summary *obs.Summary
 	var collector *obs.Collector
-	if *admin != "" || *trace != "" {
+	if *admin != "" || *tracePth != "" {
 		reg := &obs.Registry{}
 		summary = &obs.Summary{}
 		sinks := []obs.Sink{reg, summary}
-		if *trace != "" {
-			f, err := os.Create(*trace)
+		if *tracePth != "" {
+			f, err := os.Create(*tracePth)
 			if err != nil {
 				fatal(err)
 			}
@@ -115,14 +119,23 @@ func main() {
 		collector = obs.NewCollector(sinks...)
 		eng.SetStats(collector)
 		if *admin != "" {
-			mux := obs.NewAdminMux(reg)
+			mux := obs.NewAdminMux(reg, obs.AdminOptions{StaleAfter: *staleAft})
 			go func() {
 				if err := http.ListenAndServe(*admin, mux); err != nil {
 					fmt.Fprintf(os.Stderr, "fedserver: admin endpoint: %v\n", err)
 				}
 			}()
-			fmt.Printf("fedserver: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)\n", *admin)
+			fmt.Printf("fedserver: admin endpoint on http://%s (/metrics, /healthz, /buildz, /debug/pprof/)\n", *admin)
 		}
+	}
+
+	// Span tracing: the engine forwards the tracer to the TCP executor, which
+	// propagates the trace context in round requests; workers that ran with
+	// -trace-spans ship their solve spans back for one multi-process timeline.
+	var tracer *trace.Tracer
+	if *spansPth != "" || *spanLog != "" {
+		tracer = trace.New("fedserver")
+		eng.SetTracer(tracer)
 	}
 
 	eng.OnRound(func(info engine.RoundInfo) error {
@@ -145,6 +158,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if tracer != nil {
+		if err := exportTrace(tracer, *spansPth, *spanLog); err != nil {
+			fatal(err)
+		}
+	}
 	if err := series.WriteCSV(os.Stdout); err != nil {
 		fatal(err)
 	}
@@ -160,6 +178,28 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// exportTrace writes the collected spans in the requested formats.
+func exportTrace(tr *trace.Tracer, chromePath, jsonlPath string) error {
+	write := func(path string, export func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, func(f *os.File) error { return tr.WriteChrome(f) }); err != nil {
+		return err
+	}
+	return write(jsonlPath, func(f *os.File) error { return tr.WriteJSONL(f) })
 }
 
 func fatal(err error) {

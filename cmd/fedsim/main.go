@@ -9,6 +9,7 @@
 //	fedsim -rounds 500 -checkpoint run.ckpt            # Ctrl-C safe, resumable
 //	fedsim -secure -alg sarah -rounds 100              # masked aggregation
 //	fedsim -trace run.jsonl -phases                    # per-round system trace
+//	fedsim -trace-spans run.trace.json                 # Perfetto/chrome://tracing timeline
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/obs"
+	"fedproxvr/internal/trace"
 )
 
 func main() {
@@ -55,6 +57,8 @@ func main() {
 		deadline  = flag.Duration("round-deadline", 0, "cut each round after this wall-clock budget (0 = wait for everyone)")
 		minReport = flag.Int("min-report", 0, "cut each round once this many devices reported (0 = wait for everyone)")
 		chaosPath = flag.String("chaos", "", "inject faults from this JSON schedule (see internal/chaos)")
+		spansPath = flag.String("trace-spans", "", "write a Chrome trace-event JSON (open in Perfetto) to this path")
+		spanLog   = flag.String("span-log", "", "write the span trace as JSONL to this path")
 	)
 	flag.Parse()
 
@@ -118,6 +122,14 @@ func main() {
 		r.Engine().SetStats(collector)
 	}
 
+	// Span tracing is likewise opt-in; the tracer is exported after the run
+	// (partial runs still produce a valid trace file).
+	var tracer *trace.Tracer
+	if *spansPath != "" || *spanLog != "" {
+		tracer = trace.New("fedsim")
+		r.Engine().SetTracer(tracer)
+	}
+
 	var series *metrics.Series
 	if *ckptPath != "" {
 		series, err = checkpoint.TrainContext(ctx, r, *ckptPath, *ckptEvery)
@@ -136,6 +148,11 @@ func main() {
 	}
 	if collector != nil {
 		if err := collector.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if tracer != nil {
+		if err := exportTrace(tracer, *spansPath, *spanLog); err != nil {
 			fatal(err)
 		}
 	}
@@ -165,6 +182,28 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// exportTrace writes the collected spans in the requested formats.
+func exportTrace(tr *trace.Tracer, chromePath, jsonlPath string) error {
+	write := func(path string, export func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, func(f *os.File) error { return tr.WriteChrome(f) }); err != nil {
+		return err
+	}
+	return write(jsonlPath, func(f *os.File) error { return tr.WriteJSONL(f) })
 }
 
 func fatal(err error) {

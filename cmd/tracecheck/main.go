@@ -1,0 +1,91 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// -trace-spans (internal/trace.WriteChrome): it must parse, every complete
+// ("X") event must carry a span id and a non-negative duration, and every
+// non-zero parent_id must refer to a span present in the file. It is the CI
+// guard behind `make trace-demo`, keeping the export format loadable by
+// Perfetto/chrome://tracing.
+//
+// Usage:
+//
+//	tracecheck [-min-spans n] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	Args  struct {
+		SpanID   uint64 `json:"span_id"`
+		ParentID uint64 `json:"parent_id"`
+	} `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	minSpans := flag.Int("min-spans", 1, "fail unless the file holds at least this many spans")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-spans n] trace.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		fatal(fmt.Errorf("%s: not valid trace JSON: %w", flag.Arg(0), err))
+	}
+
+	ids := make(map[uint64]bool)
+	var spans, instants, metas int
+	for _, ev := range tf.TraceEvents {
+		if ev.Phase == "X" {
+			ids[ev.Args.SpanID] = true
+		}
+	}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			spans++
+			if ev.Name == "" || ev.Args.SpanID == 0 {
+				fatal(fmt.Errorf("event %d: complete event without name/span_id: %+v", i, ev))
+			}
+			if ev.Dur < 0 {
+				fatal(fmt.Errorf("event %d (%s): negative duration %g", i, ev.Name, ev.Dur))
+			}
+			if p := ev.Args.ParentID; p != 0 && !ids[p] {
+				fatal(fmt.Errorf("event %d (%s): parent_id %d not in file", i, ev.Name, p))
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		default:
+			fatal(fmt.Errorf("event %d: unknown phase %q", i, ev.Phase))
+		}
+	}
+	if spans < *minSpans {
+		fatal(fmt.Errorf("%s: %d spans, want at least %d", flag.Arg(0), spans, *minSpans))
+	}
+	fmt.Printf("tracecheck: %s ok — %d spans, %d events, %d metadata records\n",
+		flag.Arg(0), spans, instants, metas)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

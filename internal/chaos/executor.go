@@ -3,10 +3,12 @@ package chaos
 import (
 	"context"
 	"sort"
+	"strconv"
 	"time"
 
 	"fedproxvr/internal/engine"
 	"fedproxvr/internal/obs"
+	"fedproxvr/internal/trace"
 )
 
 // Executor decorates an in-process engine.Executor with fault injection
@@ -33,6 +35,7 @@ type Executor struct {
 	runPos []int
 
 	stragglers int
+	tr         *trace.Tracer
 }
 
 // NewExecutor wraps inner with the fault schedule.
@@ -92,6 +95,11 @@ func (x *Executor) run(ctx context.Context, anchor []float64, selected []int, mi
 			x.runPos = append(x.runPos, i)
 			continue
 		}
+		if x.tr != nil {
+			// Every injected fault is an annotated instant on the round
+			// span, so a chaos run's trace shows the schedule firing.
+			x.tr.RoundEvent("chaos:"+string(ev.Kind), "device "+strconv.Itoa(id))
+		}
 		switch ev.Kind {
 		case Crash, Partition:
 			// nil slot: the engine counts it as failed, same as a crashed
@@ -133,15 +141,21 @@ func (x *Executor) run(ctx context.Context, anchor []float64, selected []int, mi
 	})
 	var slept time.Duration
 	for _, ld := range late {
+		cutLate := func() {
+			x.stragglers++
+			if x.tr != nil {
+				x.tr.RoundEvent("straggler-cut", "device "+strconv.Itoa(ld.id)+" (delayed past deadline)")
+			}
+		}
 		if wait := ld.d - slept; wait > 0 {
 			if !sleepCtx(ctx, wait) {
-				x.stragglers++
+				cutLate()
 				continue
 			}
 			slept = ld.d
 		}
 		if ctx.Err() != nil {
-			x.stragglers++
+			cutLate()
 			continue
 		}
 		one, err := engine.RunClientsWithPolicy(x.inner, ctx, anchor, []int{ld.id}, 0)
@@ -199,6 +213,16 @@ func (x *Executor) GradEvals() int64 {
 func (x *Executor) EnableStats(on bool) {
 	if ss, ok := x.inner.(engine.StatsSource); ok {
 		ss.EnableStats(on)
+	}
+}
+
+// SetTracer implements engine.TraceSource: the decorator fires a
+// "chaos:<kind>" round event per injected fault and forwards the tracer to
+// the wrapped executor for its per-client spans.
+func (x *Executor) SetTracer(tr *trace.Tracer) {
+	x.tr = tr
+	if ts, ok := x.inner.(engine.TraceSource); ok {
+		ts.SetTracer(tr)
 	}
 }
 

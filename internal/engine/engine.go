@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"fedproxvr/internal/data"
@@ -12,6 +13,7 @@ import (
 	"fedproxvr/internal/models"
 	"fedproxvr/internal/obs"
 	"fedproxvr/internal/randx"
+	"fedproxvr/internal/trace"
 )
 
 // RoundInfo is passed to per-round hooks after aggregation and measurement.
@@ -60,6 +62,15 @@ type StatsSource interface {
 	CollectStats(rs *obs.RoundStats)
 }
 
+// TraceSource is implemented by executors that record spans or events of
+// their own (per-client solve spans, transport round trips, chaos
+// injections). SetTracer installs the engine's tracer — or nil, which the
+// trace package treats as a universal no-op — and decorators forward it to
+// the executor they wrap, exactly like EnableStats.
+type TraceSource interface {
+	SetTracer(tr *trace.Tracer)
+}
+
 // Engine drives the outer loop of Algorithm 1: selection → dropout →
 // Executor fan-out → Aggregator fold, plus metric measurement and
 // per-round hooks. It is the single implementation shared by the
@@ -82,6 +93,10 @@ type Engine struct {
 	stats   StatsRecorder
 	rs      obs.RoundStats // in-flight round record (reused; see FlushStats)
 	ranExec bool           // whether this round reached the executor fan-out
+
+	tracer    *trace.Tracer
+	roundSpan trace.Span // in-flight round span, closed by FlushStats
+	roundOpen bool
 
 	policy         bool // RoundDeadline or MinReport is set (precomputed)
 	lastStragglers int  // stragglers of the last Step (see StragglerCounter)
@@ -161,6 +176,9 @@ func (e *Engine) SetExecutor(x Executor) {
 	if ss, ok := x.(StatsSource); ok {
 		ss.EnableStats(e.stats != nil)
 	}
+	if ts, ok := x.(TraceSource); ok {
+		ts.SetTracer(e.tracer)
+	}
 }
 
 // Aggregator returns the current aggregation rule.
@@ -186,12 +204,39 @@ func (e *Engine) SetStats(rec StatsRecorder) {
 	}
 }
 
+// SetTracer installs a span tracer (see internal/trace); nil disables
+// tracing. With one installed, Step opens a round span with phase children
+// and TraceSource executors record their own spans against it; without one
+// every trace call is a nil-receiver no-op, so the tracing-off path keeps
+// the engine's alloc budget. Safe between rounds, not during one.
+func (e *Engine) SetTracer(tr *trace.Tracer) {
+	e.tracer = tr
+	if ts, ok := e.exec.(TraceSource); ok {
+		ts.SetTracer(tr)
+	}
+}
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// endRoundSpan closes the in-flight round span. It runs inside FlushStats
+// — which Run and the simnet driver both call exactly once per round,
+// after evaluation — so the round span covers selection through
+// measurement.
+func (e *Engine) endRoundSpan() {
+	if e.roundOpen {
+		e.roundSpan.End()
+		e.roundOpen = false
+	}
+}
+
 // FlushStats finalizes the in-flight round record — executor-side stats,
 // cumulative gradient evaluations, the evaluation-phase duration — and
 // hands it to the recorder. Run calls it once per round; callers that drive
 // Step directly (internal/simnet) call it themselves after measuring.
-// No-op without a recorder.
+// No-op without a recorder (the round span, when tracing, still closes).
 func (e *Engine) FlushStats(evalSeconds float64) {
+	e.endRoundSpan()
 	if e.stats == nil {
 		return
 	}
@@ -264,8 +309,11 @@ func (e *Engine) Step() ([]int, int, error) {
 func (e *Engine) StepCtx(ctx context.Context) ([]int, int, error) {
 	// Observability is strictly opt-in: with no recorder installed the
 	// round takes no timing samples and allocates nothing extra (the
-	// BenchmarkEngineRoundAllocs guarantee).
+	// BenchmarkEngineRoundAllocs guarantee). Tracing is independently
+	// opt-in: every call below on a nil tracer is a no-op (one pointer
+	// check, no allocation), which preserves the same budget.
 	stats := e.stats != nil
+	traced := e.tracer != nil
 	var t0 time.Time
 	if stats {
 		e.rs.Reset()
@@ -273,9 +321,16 @@ func (e *Engine) StepCtx(ctx context.Context) ([]int, int, error) {
 		t0 = time.Now()
 	}
 	e.round++
+	if traced {
+		e.endRoundSpan() // a caller that skipped FlushStats leaves one open
+		e.roundSpan = e.tracer.StartRound(e.round)
+		e.roundOpen = true
+	}
+	phase := e.tracer.StartPhase("select")
 	e.selBuf = SelectClients(e.server, len(e.weights), e.cfg.ClientFraction, e.selBuf)
 	nsel := len(e.selBuf)
 	selected := Dropout(e.server, e.selBuf, e.cfg.DropoutProb)
+	phase.End()
 	if stats {
 		now := time.Now()
 		e.rs.Round = e.round
@@ -283,16 +338,24 @@ func (e *Engine) StepCtx(ctx context.Context) ([]int, int, error) {
 		e.rs.Dropouts = nsel - len(selected)
 		t0 = now
 	}
+	if traced && nsel > len(selected) {
+		e.tracer.RoundEvent("dropout", strconv.Itoa(nsel-len(selected))+" devices")
+	}
 	e.lastStragglers = 0
 	if len(selected) == 0 {
 		return selected, 0, nil
 	}
+	phase = e.tracer.StartPhase("execute")
 	locals, err := e.fanOut(ctx, selected)
+	phase.End()
 	if err != nil {
 		if stats {
 			// Keep the phase timings taken so far: the aborted round's
 			// partial record is flushed by Run before it returns.
 			e.rs.ExecSeconds = time.Since(t0).Seconds()
+		}
+		if traced {
+			e.tracer.RoundEvent("round-abort", err.Error())
 		}
 		return nil, 0, err
 	}
@@ -330,12 +393,22 @@ func (e *Engine) StepCtx(ctx context.Context) ([]int, int, error) {
 		e.rs.Participants, e.rs.Failed = k, failed-e.lastStragglers
 		e.rs.Stragglers = e.lastStragglers
 	}
+	if traced {
+		if e.lastStragglers > 0 {
+			e.tracer.RoundEvent("straggler-cut", strconv.Itoa(e.lastStragglers)+" devices")
+		}
+		if n := failed - e.lastStragglers; n > 0 {
+			e.tracer.RoundEvent("client-failures", strconv.Itoa(n)+" devices")
+		}
+	}
 	if k == 0 {
 		return selected, failed, nil
 	}
+	phase = e.tracer.StartPhase("aggregate")
 	if err := e.agg.Aggregate(e.w, selected, locals); err != nil {
 		return nil, failed, err
 	}
+	phase.End()
 	if stats {
 		e.rs.AggSeconds = time.Since(t0).Seconds()
 	}
@@ -370,9 +443,18 @@ func (e *Engine) fanOut(ctx context.Context, selected []int) ([][]float64, error
 // Run returns the series so far plus ctx.Err(), with the global model left
 // at the last completed round (resumable — see internal/checkpoint).
 func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
+	runName := e.cfg.Name
+	if runName == "" {
+		runName = "run"
+	}
+	runSpan := e.tracer.StartRun(runName)
+	defer runSpan.End()
 	s := &metrics.Series{Name: e.cfg.Name}
 	if e.round == 0 {
-		s.Append(e.measure(0))
+		phase := e.tracer.StartPhase("evaluate")
+		p := e.measure(0)
+		phase.End()
+		s.Append(p)
 	}
 	for e.round < e.cfg.Rounds {
 		if err := ctx.Err(); err != nil {
@@ -394,7 +476,9 @@ func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
 			if e.stats != nil {
 				t0 = time.Now()
 			}
+			phase := e.tracer.StartPhase("evaluate")
 			p := e.measure(t)
+			phase.End()
 			if e.stats != nil {
 				evalSec = time.Since(t0).Seconds()
 			}

@@ -14,6 +14,7 @@ import (
 	"fedproxvr/internal/optim"
 	"fedproxvr/internal/randx"
 	"fedproxvr/internal/tensor"
+	"fedproxvr/internal/trace"
 )
 
 // Device is one simulated user device: its data shard, its solver (with a
@@ -120,6 +121,7 @@ type Sequential struct {
 	statsOn    bool
 	lat        []obs.ClientStat
 	stragglers int
+	tr         *trace.Tracer
 }
 
 // NewSequential builds the sequential in-process executor.
@@ -134,15 +136,19 @@ func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, 
 	if s.statsOn {
 		s.lat = growStats(s.lat, len(selected))
 		for i, id := range selected {
+			sp := s.tr.StartClient(id)
 			t0 := time.Now()
 			out[i] = s.devices[id].RunRound(anchor, s.local)
 			d := time.Since(t0).Seconds()
+			sp.End()
 			s.lat[i] = obs.ClientStat{ID: id, Seconds: d, SolveSeconds: d}
 		}
 		return out, nil
 	}
 	for i, id := range selected {
+		sp := s.tr.StartClient(id)
 		out[i] = s.devices[id].RunRound(anchor, s.local)
+		sp.End()
 	}
 	return out, nil
 }
@@ -170,6 +176,7 @@ func (s *Sequential) RunClientsCtx(ctx context.Context, anchor []float64, select
 			s.stragglers++
 			continue
 		}
+		sp := s.tr.StartClient(id)
 		if s.statsOn {
 			t0 := time.Now()
 			out[i] = s.devices[id].RunRound(anchor, s.local)
@@ -178,6 +185,7 @@ func (s *Sequential) RunClientsCtx(ctx context.Context, anchor []float64, select
 		} else {
 			out[i] = s.devices[id].RunRound(anchor, s.local)
 		}
+		sp.End()
 		reported++
 	}
 	return out, nil
@@ -188,6 +196,9 @@ func (s *Sequential) Stragglers() int { return s.stragglers }
 
 // EnableStats implements StatsSource.
 func (s *Sequential) EnableStats(on bool) { s.statsOn = on }
+
+// SetTracer implements TraceSource: per-client solve spans.
+func (s *Sequential) SetTracer(tr *trace.Tracer) { s.tr = tr }
 
 // CollectStats implements StatsSource: per-client solve latencies of the
 // last round (cut devices carry ID -1 and are skipped).
@@ -217,6 +228,7 @@ type parJob struct {
 	local  optim.LocalConfig
 	wg     *sync.WaitGroup
 	lat    []obs.ClientStat // nil when stats are off
+	tr     *trace.Tracer    // nil when tracing is off
 
 	// res switches the job to the policy path (RunClientsCtx): the worker
 	// sends its result on res instead of writing out/lat and signaling wg,
@@ -247,6 +259,7 @@ type Parallel struct {
 	statsOn    bool
 	lat        []obs.ClientStat
 	stragglers int
+	tr         *trace.Tracer
 }
 
 // NewParallel builds the pooled parallel executor. workers ≤ 0 selects the
@@ -272,6 +285,7 @@ func parWorker(jobs <-chan parJob) {
 			// Policy path: deliver on the round's buffered channel. busy is
 			// released before the send so a device whose result loses the
 			// race against a cut is immediately schedulable next round.
+			sp := j.tr.StartClient(j.dev.ID)
 			var t0 time.Time
 			if j.stats {
 				t0 = time.Now()
@@ -281,10 +295,12 @@ func parWorker(jobs <-chan parJob) {
 			if j.stats {
 				d = time.Since(t0).Seconds()
 			}
+			sp.End()
 			j.dev.busy.Store(false)
 			j.res <- parResult{i: j.i, id: j.dev.ID, vec: vec, solve: d}
 			continue
 		}
+		sp := j.tr.StartClient(j.dev.ID)
 		if j.lat != nil {
 			t0 := time.Now()
 			j.out[j.i] = j.dev.RunRound(j.anchor, j.local)
@@ -293,6 +309,7 @@ func parWorker(jobs <-chan parJob) {
 		} else {
 			j.out[j.i] = j.dev.RunRound(j.anchor, j.local)
 		}
+		sp.End()
 		j.wg.Done()
 	}
 }
@@ -309,7 +326,7 @@ func (p *Parallel) RunClients(anchor []float64, selected []int) ([][]float64, er
 	var wg sync.WaitGroup
 	wg.Add(len(selected))
 	for i, id := range selected {
-		p.jobs <- parJob{i: i, dev: p.devices[id], anchor: anchor, out: out, local: p.local, wg: &wg, lat: lat}
+		p.jobs <- parJob{i: i, dev: p.devices[id], anchor: anchor, out: out, local: p.local, wg: &wg, lat: lat, tr: p.tr}
 	}
 	wg.Wait()
 	p.stragglers = 0
@@ -347,7 +364,7 @@ submit:
 		if !dev.busy.CompareAndSwap(false, true) {
 			continue // still finishing a cut round's solve
 		}
-		j := parJob{i: i, dev: dev, anchor: anchor, local: p.local, res: res, stats: p.statsOn}
+		j := parJob{i: i, dev: dev, anchor: anchor, local: p.local, res: res, stats: p.statsOn, tr: p.tr}
 		select {
 		case p.jobs <- j:
 			submitted++
@@ -397,6 +414,10 @@ func (p *Parallel) Stragglers() int { return p.stragglers }
 
 // EnableStats implements StatsSource.
 func (p *Parallel) EnableStats(on bool) { p.statsOn = on }
+
+// SetTracer implements TraceSource: the pool workers open per-client solve
+// spans (the tracer is goroutine-safe).
+func (p *Parallel) SetTracer(tr *trace.Tracer) { p.tr = tr }
 
 // CollectStats implements StatsSource: per-client solve latencies of the
 // last round (written by the pool workers; wg.Wait in RunClients is the

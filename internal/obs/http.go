@@ -1,24 +1,53 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
+	"time"
 )
 
+// AdminOptions tunes the admin mux endpoints.
+type AdminOptions struct {
+	// StaleAfter makes /healthz report non-ok (HTTP 503, status "stale")
+	// when more than this duration has passed since the last completed
+	// round — a wedged run (e.g. a coordinator stuck below quorum) stops
+	// probing healthy. 0 (the default) disables the staleness check. A run
+	// that has not completed its first round is never considered stale.
+	StaleAfter time.Duration
+}
+
 // NewAdminMux builds the coordinator's admin endpoint: the registry's
-// Prometheus exposition at /metrics, a liveness probe at /healthz, and the
-// standard net/http/pprof profiling handlers under /debug/pprof/. The
-// handlers are mounted explicitly (rather than importing net/http/pprof for
-// its DefaultServeMux side effect) so the admin mux can be served on a
-// dedicated listener without exposing pprof on any other server the process
-// runs.
-func NewAdminMux(reg *Registry) *http.ServeMux {
+// Prometheus exposition at /metrics, a liveness probe at /healthz, build
+// identification at /buildz, and the standard net/http/pprof profiling
+// handlers under /debug/pprof/. The handlers are mounted explicitly
+// (rather than importing net/http/pprof for its DefaultServeMux side
+// effect) so the admin mux can be served on a dedicated listener without
+// exposing pprof on any other server the process runs.
+func NewAdminMux(reg *Registry, opt AdminOptions) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"round\":%d}\n", reg.Round())
+		// The historical keys ("status", "round") keep their shape; the age
+		// field is additive, and null before the first round.
+		status := "ok"
+		age := "null"
+		if d, ok := reg.LastRoundAge(); ok {
+			age = fmt.Sprintf("%.3f", d.Seconds())
+			if opt.StaleAfter > 0 && d > opt.StaleAfter {
+				status = "stale"
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+		}
+		fmt.Fprintf(w, "{\"status\":%q,\"round\":%d,\"last_round_age_seconds\":%s}\n",
+			status, reg.Round(), age)
+	})
+	mux.HandleFunc("/buildz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(buildz())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -26,4 +55,40 @@ func NewAdminMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// buildInfo is the /buildz document: enough to identify a deployed binary
+// from its admin port.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+func buildz() buildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return buildInfo{GoVersion: "unknown"}
+	}
+	out := buildInfo{
+		GoVersion: bi.GoVersion,
+		Path:      bi.Path,
+		Module:    bi.Main.Path,
+		Version:   bi.Main.Version,
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
 }

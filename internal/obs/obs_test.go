@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -187,38 +186,5 @@ func TestRoundStatsResetKeepsClientCapacity(t *testing.T) {
 	rs.Clients = append(rs.Clients, ClientStat{ID: 9})
 	if &rs.Clients[0] != backing {
 		t.Fatal("Reset dropped the Clients backing array")
-	}
-}
-
-func TestAdminMux(t *testing.T) {
-	var reg Registry
-	reg.RecordRound(sampleRound(7))
-	srv := httptest.NewServer(NewAdminMux(&reg))
-	defer srv.Close()
-
-	get := func(path string) string {
-		t.Helper()
-		resp, err := srv.Client().Get(srv.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var buf bytes.Buffer
-		if _, err := buf.ReadFrom(resp.Body); err != nil {
-			t.Fatal(err)
-		}
-		if resp.StatusCode != 200 {
-			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, buf.String())
-		}
-		return buf.String()
-	}
-	if out := get("/metrics"); !strings.Contains(out, "fed_round 7") {
-		t.Fatalf("/metrics missing fed_round:\n%s", out)
-	}
-	if out := get("/healthz"); !strings.Contains(out, `"status":"ok"`) || !strings.Contains(out, `"round":7`) {
-		t.Fatalf("/healthz unexpected body: %s", out)
-	}
-	if out := get("/debug/pprof/"); !strings.Contains(out, "profile") {
-		t.Fatalf("/debug/pprof/ index unexpected: %s", out)
 	}
 }

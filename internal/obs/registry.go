@@ -5,12 +5,20 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 )
 
-// Registry aggregates round records into a small fixed set of gauges and
-// counters and renders them in the Prometheus text exposition format. Its
-// zero value is ready to use; it doubles as an http.Handler serving the
-// exposition (mounted at /metrics by NewAdminMux).
+// clientBuckets are the fixed upper bounds (seconds) of the
+// fed_client_seconds histogram. Fixed boundaries keep scrapes comparable
+// across runs and make the exposition deterministic for the golden test.
+var clientBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry aggregates round records into a small fixed set of gauges,
+// counters and one latency histogram, and renders them in the Prometheus
+// text exposition format. Its zero value is ready to use; it doubles as an
+// http.Handler serving the exposition (mounted at /metrics by NewAdminMux).
 type Registry struct {
 	mu           sync.Mutex
 	round        int // gauge: last completed round
@@ -19,6 +27,23 @@ type Registry struct {
 	rounds, failed, stragglers, dropouts, retries, rejoins int64
 	gradEvals, bytesSent, bytesRecv                        int64
 	selectSec, execSec, aggSec, evalSec                    float64
+
+	// fed_client_seconds histogram over per-client round-trip latencies.
+	clientBucket []int64 // one count per clientBuckets entry (lazily sized)
+	clientSum    float64
+	clientCount  int64
+
+	lastRound time.Time // when the last round was recorded (staleness probe)
+
+	// nowFn is the clock, overridable by tests; nil means time.Now.
+	nowFn func() time.Time
+}
+
+func (r *Registry) now() time.Time {
+	if r.nowFn == nil {
+		return time.Now()
+	}
+	return r.nowFn()
 }
 
 // RecordRound implements Sink.
@@ -40,6 +65,19 @@ func (r *Registry) RecordRound(rs *RoundStats) {
 	r.execSec += rs.ExecSeconds
 	r.aggSec += rs.AggSeconds
 	r.evalSec += rs.EvalSeconds
+	if r.clientBucket == nil {
+		r.clientBucket = make([]int64, len(clientBuckets))
+	}
+	for _, cs := range rs.Clients {
+		r.clientSum += cs.Seconds
+		r.clientCount++
+		for b, ub := range clientBuckets {
+			if cs.Seconds <= ub {
+				r.clientBucket[b]++
+			}
+		}
+	}
+	r.lastRound = r.now()
 }
 
 // Close implements Sink.
@@ -50,6 +88,17 @@ func (r *Registry) Round() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.round
+}
+
+// LastRoundAge returns how long ago the last round completed. ok is false
+// before the first round (a run that has not started yet is not stale).
+func (r *Registry) LastRoundAge() (age time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastRound.IsZero() {
+		return 0, false
+	}
+	return r.now().Sub(r.lastRound), true
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -79,6 +128,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	p("fed_phase_seconds_total{phase=\"execute\"} %g\n", r.execSec)
 	p("fed_phase_seconds_total{phase=\"aggregate\"} %g\n", r.aggSec)
 	p("fed_phase_seconds_total{phase=\"evaluate\"} %g\n", r.evalSec)
+	p("# HELP fed_client_seconds Per-client round-trip latency.\n# TYPE fed_client_seconds histogram\n")
+	for b, ub := range clientBuckets {
+		var n int64
+		if r.clientBucket != nil {
+			n = r.clientBucket[b]
+		}
+		p("fed_client_seconds_bucket{le=\"%g\"} %d\n", ub, n)
+	}
+	p("fed_client_seconds_bucket{le=\"+Inf\"} %d\n", r.clientCount)
+	p("fed_client_seconds_sum %g\n", r.clientSum)
+	p("fed_client_seconds_count %d\n", r.clientCount)
 	return err
 }
 

@@ -137,7 +137,19 @@ type Solver struct {
 	avg    []float64 // ReturnAverage accumulator
 	vClip  []float64 // clipped copy of v for the proximal step
 	batch  []int
+
+	phase func(name string) func()
 }
+
+// SetPhaseHook installs a sub-phase observer: Solve calls it at the start
+// of each named sub-phase — "anchor-grad" (line 4's full local gradient at
+// the anchor) and "inner-loop" (lines 5–9, the τ stochastic proximal
+// steps) — and invokes the returned func when the sub-phase ends. The TCP
+// worker uses it to record trace spans against the coordinator-propagated
+// round span. The hook lives on the Solver, not LocalConfig, because
+// LocalConfig crosses the gob wire and func fields do not encode. A nil
+// hook (the default) costs one branch per sub-phase.
+func (s *Solver) SetPhaseHook(h func(name string) func()) { s.phase = h }
 
 // NewSolver builds a solver bound to a model (scratch sized to its Dim).
 func NewSolver(m models.Model) *Solver {
@@ -176,7 +188,14 @@ func (s *Solver) Solve(ds *data.Dataset, anchor, out []float64, cfg LocalConfig,
 	prox := Prox{Mu: cfg.Mu, Anchor: s.anchor}
 
 	// Line 4: full local gradient at the anchor and first proximal step.
+	var endPhase func()
+	if s.phase != nil {
+		endPhase = s.phase("anchor-grad")
+	}
 	s.model.Grad(s.vFull, s.w, ds, nil)
+	if endPhase != nil {
+		endPhase()
+	}
 	copy(s.v, s.vFull)
 	gradEvals := ds.N()
 
@@ -207,6 +226,9 @@ func (s *Solver) Solve(ds *data.Dataset, anchor, out []float64, cfg LocalConfig,
 	prox.Apply(s.w, s.pre, eta0)
 
 	// Lines 5–9: τ stochastic proximal steps.
+	if s.phase != nil {
+		endPhase = s.phase("inner-loop")
+	}
 	for t := 1; t <= cfg.Tau; t++ {
 		randx.Batch(rng, batch, ds.N())
 		switch cfg.Estimator {
@@ -237,6 +259,9 @@ func (s *Solver) Solve(ds *data.Dataset, anchor, out []float64, cfg LocalConfig,
 		eta := cfg.etaAt(t)
 		mathx.AddScaled(s.pre, s.w, -eta, s.direction(cfg))
 		prox.Apply(s.w, s.pre, eta)
+	}
+	if s.phase != nil && endPhase != nil {
+		endPhase()
 	}
 
 	switch cfg.Return {

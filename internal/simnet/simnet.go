@@ -84,8 +84,17 @@ func NewHeterogeneousFleet(n int, p DeviceProfile, spread float64, seed int64) *
 // the devices in participants each run tau local iterations: the max over
 // devices of downlink + tau·compute + uplink, with jitter and stragglers.
 func (f *Fleet) RoundTime(participants []int, tau int) float64 {
+	return f.roundTime(participants, tau, nil)
+}
+
+// roundTime is RoundTime with an optional per-device capture: when each is
+// non-nil, each[k] receives participant k's sampled round time (the terms
+// of the straggler max — what the sim tracer renders as device spans). The
+// RNG draw order is identical with and without capture, so traced and
+// untraced runs stay bit-identical.
+func (f *Fleet) roundTime(participants []int, tau int, each []float64) float64 {
 	var worst float64
-	for _, id := range participants {
+	for k, id := range participants {
 		p := f.Profiles[id]
 		t := p.Downlink + float64(tau)*p.ComputePerIter + p.Uplink
 		if p.Jitter > 0 {
@@ -93,6 +102,9 @@ func (f *Fleet) RoundTime(participants []int, tau int) float64 {
 		}
 		if f.StragglerFraction > 0 && f.rng.Float64() < f.StragglerFraction {
 			t *= f.StragglerFactor
+		}
+		if each != nil {
+			each[k] = t
 		}
 		if t > worst {
 			worst = t

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/obs"
+	"fedproxvr/internal/trace"
 )
 
 // TimedPoint couples a metric point with its simulated wall-clock time.
@@ -65,6 +67,10 @@ type TimedExecutor struct {
 	tau   int
 	now   float64
 	part  []int // reporting subset scratch (partial-result rounds)
+
+	simTr  *trace.Tracer // simulated-clock tracer (nil: no sim spans)
+	rounds int           // rounds charged so far (sim span numbering)
+	each   []float64     // per-device round-time scratch for sim spans
 }
 
 // NewTimedExecutor wraps inner with fleet timing for τ local iterations
@@ -89,7 +95,7 @@ func (x *TimedExecutor) RunClients(anchor []float64, selected []int) ([][]float6
 			x.part = append(x.part, selected[i])
 		}
 	}
-	x.now += x.fleet.RoundTime(x.part, x.tau)
+	x.charge()
 	return locals, nil
 }
 
@@ -109,8 +115,33 @@ func (x *TimedExecutor) RunClientsCtx(ctx context.Context, anchor []float64, sel
 			x.part = append(x.part, selected[i])
 		}
 	}
-	x.now += x.fleet.RoundTime(x.part, x.tau)
+	x.charge()
 	return locals, nil
+}
+
+// charge advances the simulated clock by one synchronous round over the
+// reporting subset. With a sim tracer installed it also renders the
+// round on the simulated timeline: one "round N" span covering
+// [prev, prev+max] on the "sim" lane and one child span per reporting
+// device covering that device's own downlink + τ·compute + uplink — the
+// terms of the paper's time model T·(d_com + d_cmp·τ), with the straggler
+// max visible as the longest child.
+func (x *TimedExecutor) charge() {
+	x.rounds++
+	if x.simTr == nil {
+		x.now += x.fleet.RoundTime(x.part, x.tau)
+		return
+	}
+	if cap(x.each) < len(x.part) {
+		x.each = make([]float64, len(x.part))
+	}
+	each := x.each[:len(x.part)]
+	prev := x.now
+	x.now += x.fleet.roundTime(x.part, x.tau, each)
+	rid := x.simTr.EmitSpan("round "+strconv.Itoa(x.rounds), "sim", 0, x.rounds, prev, x.now)
+	for k, id := range x.part {
+		x.simTr.EmitSpan("device "+strconv.Itoa(id), "device "+strconv.Itoa(id), rid, x.rounds, prev, prev+each[k])
+	}
 }
 
 // Stragglers implements engine.StragglerCounter when the inner executor
@@ -145,6 +176,22 @@ func (x *TimedExecutor) CollectStats(rs *obs.RoundStats) {
 		ss.CollectStats(rs)
 	}
 	rs.SimSeconds = x.now
+}
+
+// SetSimTracer installs a simulated-clock tracer (trace.NewSim): every
+// charged round is emitted as spans whose timestamps are simulated
+// seconds, so the exported file is a literal rendering of the time model
+// — round-span durations sum to SimSeconds. Independent of the wall-clock
+// tracer the inner executor may carry via SetTracer.
+func (x *TimedExecutor) SetSimTracer(tr *trace.Tracer) { x.simTr = tr }
+
+// SetTracer implements engine.TraceSource by forwarding the engine's
+// wall-clock tracer to the inner executor (the decorator's own spans live
+// on the simulated clock — see SetSimTracer).
+func (x *TimedExecutor) SetTracer(tr *trace.Tracer) {
+	if ts, ok := x.inner.(engine.TraceSource); ok {
+		ts.SetTracer(tr)
+	}
 }
 
 // Inner returns the wrapped executor.

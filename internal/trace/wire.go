@@ -1,0 +1,88 @@
+package trace
+
+import "time"
+
+// WireSpan is one worker-recorded span shipped inside a round reply. Times
+// are seconds relative to the worker's receipt of the round request
+// (Recorder.Rebase), so propagation needs no clock synchronization: the
+// coordinator re-bases them to its own send time on ingest. IDs are unique
+// only within one reply; Parent == 0 means "the span the coordinator
+// propagated in the request" (its round span).
+type WireSpan struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  float64
+	End    float64
+}
+
+// Recorder captures one process's spans for one round, for shipping over
+// the wire. Not safe for concurrent use: a worker serves rounds on one
+// goroutine. A nil *Recorder is a no-op for every method.
+type Recorder struct {
+	epoch time.Time
+	next  uint64
+	spans []WireSpan
+}
+
+// NewRecorder builds a recorder; call Rebase at each round's receipt.
+func NewRecorder() *Recorder { return &Recorder{epoch: time.Now()} }
+
+// Rebase resets the recorder for a new round: the clock origin moves to
+// now and previously recorded spans are discarded (their backing array is
+// kept, so steady-state recording does not reallocate).
+func (r *Recorder) Rebase() {
+	if r == nil {
+		return
+	}
+	r.epoch = time.Now()
+	r.next = 0
+	r.spans = r.spans[:0]
+}
+
+// Start opens a span under parent (0 = the coordinator-propagated span).
+func (r *Recorder) Start(name string, parent uint64) WSpan {
+	if r == nil {
+		return WSpan{}
+	}
+	r.next++
+	r.spans = append(r.spans, WireSpan{
+		ID: r.next, Parent: parent, Name: name,
+		Start: time.Since(r.epoch).Seconds(), End: -1,
+	})
+	return WSpan{r: r, idx: len(r.spans) - 1, id: r.next}
+}
+
+// Take returns a copy of the round's finished spans for the reply (the
+// recorder's own storage is reused by the next Rebase). Spans still open
+// are closed at their start time.
+func (r *Recorder) Take() []WireSpan {
+	if r == nil || len(r.spans) == 0 {
+		return nil
+	}
+	out := append([]WireSpan(nil), r.spans...)
+	for i := range out {
+		if out[i].End < out[i].Start {
+			out[i].End = out[i].Start
+		}
+	}
+	return out
+}
+
+// WSpan is a handle to an open recorder span; the zero WSpan is a no-op.
+type WSpan struct {
+	r   *Recorder
+	idx int
+	id  uint64
+}
+
+// ID returns the reply-local span ID (0 for the zero span).
+func (w WSpan) ID() uint64 { return w.id }
+
+// End closes the span.
+func (w WSpan) End() {
+	if w.r == nil {
+		return
+	}
+	w.r.spans[w.idx].End = time.Since(w.r.epoch).Seconds()
+}

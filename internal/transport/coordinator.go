@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"fedproxvr/internal/models"
 	"fedproxvr/internal/obs"
 	"fedproxvr/internal/optim"
+	"fedproxvr/internal/trace"
 )
 
 // clientConn is one connected worker. dead marks a connection the
@@ -96,6 +98,13 @@ type Coordinator struct {
 	obsRetries atomic.Int64     // re-sent requests this round
 	obsRejoins int              // adoptions this round (guarded by mu)
 	obsLat     []obs.ClientStat // indexed by position in selected; ID<0 ⇒ no report
+
+	// tracer records the coordinator side of the distributed trace:
+	// per-worker round-trip spans, retry/rejoin/fault events, and the
+	// ingestion of worker-shipped solve spans. Installed between rounds
+	// through Executor.SetTracer; nil (the default) is a universal no-op.
+	// The *Tracer itself is goroutine-safe for the round fan-out.
+	tracer *trace.Tracer
 }
 
 // SetCodec selects the wire codec for subsequent rounds (default
@@ -268,6 +277,9 @@ func (c *Coordinator) adoptRejoined() {
 		c.clients[id] = cc
 		delete(c.pending, id)
 		c.obsRejoins++
+		if c.tracer != nil {
+			c.tracer.RoundEvent("rejoin", "client "+strconv.Itoa(id))
+		}
 	}
 	c.rejoined.Broadcast()
 }
@@ -370,6 +382,15 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 	roundDL, hasDL := ctx.Deadline()
 	a64, a32 := quantize(c.codec, anchor)
 	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local}
+	tr := c.tracer
+	if tr != nil {
+		// Propagate the trace context: workers parent their solve spans
+		// under the engine's current round span. The request is shared by
+		// every worker, so the propagated parent is the round, and each
+		// worker's spans are told apart by their process row on ingest.
+		req.TraceID = tr.TraceID()
+		req.SpanID = tr.CurrentRound()
+	}
 	errs := make([]error, len(selected))
 	var cut atomic.Bool
 	var wg sync.WaitGroup
@@ -428,6 +449,11 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 		wg.Add(1)
 		go func(i int, cc *clientConn) {
 			defer wg.Done()
+			// The round-trip span covers send → reply (retries included) on
+			// the worker's client lane; ingested solve spans nest inside it
+			// on the timeline even though their tree parent is the round.
+			sp := tr.StartClient(cc.id)
+			defer sp.End()
 			var vec []float64
 			var solve float64
 			var werr error
@@ -481,16 +507,28 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 		switch {
 		case werr == errWorkerDown:
 			failed++
+			if tr != nil {
+				tr.RoundEvent("worker-down", "client "+strconv.Itoa(cc.id))
+			}
 		case errors.Is(werr, errRoundCut):
 			// Caught between retry attempts by the cut: the stream is still
 			// framed, so the connection survives into the next round.
 			stragglers++
+			if tr != nil {
+				tr.RoundEvent("straggler-cut", "client "+strconv.Itoa(cc.id)+" (between retries)")
+			}
 		case errors.Is(werr, errStraggler):
 			stragglers++
 			teardown(cc)
+			if tr != nil {
+				tr.RoundEvent("straggler-cut", "client "+strconv.Itoa(cc.id))
+			}
 		default:
 			failed++
 			teardown(cc)
+			if tr != nil {
+				tr.RoundEvent("worker-fault", "client "+strconv.Itoa(cc.id)+": "+werr.Error())
+			}
 			if c.onFault != nil {
 				c.onFault(cc.id, werr)
 			}
@@ -530,6 +568,9 @@ func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, di
 				return nil, 0, errRoundCut
 			}
 			c.obsRetries.Add(1)
+			if c.tracer != nil {
+				c.tracer.RoundEvent("retry", "client "+strconv.Itoa(cc.id)+" attempt "+strconv.Itoa(attempt))
+			}
 			if c.fault.RetryBackoff > 0 {
 				time.Sleep(c.fault.RetryBackoff)
 			}
@@ -577,6 +618,13 @@ func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim
 		}
 		return perr
 	}
+	// The send time is the coordinator-side base for re-basing the worker's
+	// request-relative span times onto this trace's timeline (no clock
+	// synchronization between the processes is assumed).
+	var sentAt time.Time
+	if c.tracer != nil {
+		sentAt = time.Now()
+	}
 	if err := cc.enc.Encode(req); err != nil {
 		return nil, 0, wrap("send to", err), false
 	}
@@ -598,6 +646,9 @@ func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim
 	}
 	if evals != nil {
 		evals[cc.id] = rep.GradEvals
+	}
+	if c.tracer != nil && len(rep.Spans) > 0 {
+		c.tracer.IngestWire(rep.Spans, req.SpanID, "worker-"+strconv.Itoa(cc.id), sentAt)
 	}
 	return vec, rep.SolveSeconds, nil, false
 }
@@ -729,6 +780,12 @@ func (x *Executor) GradEvals() int64 {
 	}
 	return s
 }
+
+// SetTracer implements engine.TraceSource: the coordinator records
+// per-worker round-trip spans, fires retry/rejoin/straggler/fault events
+// on the round span, and ingests the solve spans workers ship back in
+// their replies. Safe to change between rounds, not during one.
+func (x *Executor) SetTracer(tr *trace.Tracer) { x.c.tracer = tr }
 
 // EnableStats implements engine.StatsSource. Turning stats on baselines the
 // byte counters so the first observed round reports a per-round delta, not

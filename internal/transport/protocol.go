@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"fedproxvr/internal/optim"
+	"fedproxvr/internal/trace"
 )
 
 // Hello is the first message a worker sends after connecting.
@@ -41,6 +42,13 @@ type RoundRequest struct {
 	Anchor32 []float32
 	Local    optim.LocalConfig
 	Done     bool
+	// TraceID/SpanID propagate the coordinator's trace context: SpanID is
+	// the round span a tracing worker parents its solve spans under.
+	// TraceID == 0 means tracing is off and the worker records nothing.
+	// gob tolerates the added fields in both directions (old peers leave
+	// them zero).
+	TraceID uint64
+	SpanID  uint64
 }
 
 // AnchorVec returns the anchor as float64 regardless of codec.
@@ -61,6 +69,10 @@ type RoundReply struct {
 	// field in both directions (old peers leave it zero).
 	SolveSeconds float64
 	Err          string // non-empty if the worker failed this round
+	// Spans are the worker's trace spans for this round, recorded relative
+	// to its receipt of the request (see trace.WireSpan); empty unless the
+	// request carried a TraceID and the worker has tracing enabled.
+	Spans []trace.WireSpan
 }
 
 // LocalVec returns the local model as float64 regardless of codec.

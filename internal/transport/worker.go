@@ -11,6 +11,7 @@ import (
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/data"
 	"fedproxvr/internal/models"
+	"fedproxvr/internal/trace"
 )
 
 // Worker is the device side of the distributed runtime: it connects to a
@@ -41,7 +42,18 @@ type Worker struct {
 	rejoinAttempts int
 	rejoinBackoff  time.Duration
 	outageTries    int
+
+	// rec, when non-nil, records per-round solve spans (solve, anchor-grad,
+	// inner-loop) relative to each request's receipt and ships them back in
+	// the reply — but only for requests that carry a TraceID, so a tracing
+	// worker against a non-tracing coordinator sends nothing extra.
+	rec *trace.Recorder
 }
+
+// EnableTrace makes the worker record local-solve trace spans and return
+// them in round replies whenever the coordinator propagates a trace
+// context (RoundRequest.TraceID != 0). Call before Serve.
+func (w *Worker) EnableTrace() { w.rec = trace.NewRecorder() }
 
 // NewWorker connects to addr and performs the Hello handshake. The same
 // call is the rejoin path: a worker restarted after a crash dials the
@@ -175,15 +187,32 @@ func (w *Worker) serveConn() (rejoin bool, err error) {
 		}
 
 		rep := RoundReply{ClientID: w.id, Round: req.Round}
+		traceOn := w.rec != nil && req.TraceID != 0
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
 					rep.Err = toErrString(r)
 				}
 			}()
+			var solve trace.WSpan
+			if traceOn {
+				// Span times are relative to this Rebase (the request's
+				// receipt); the coordinator re-bases them onto its timeline.
+				// Wire parent 0 designates the propagated round span.
+				w.rec.Rebase()
+				solve = w.rec.Start("solve", 0)
+				w.device.Solver.SetPhaseHook(func(name string) func() {
+					return w.rec.Start(name, solve.ID()).End
+				})
+				defer w.device.Solver.SetPhaseHook(nil)
+			}
 			start := time.Now()
 			local := w.device.RunRound(req.AnchorVec(), req.Local)
 			rep.SolveSeconds = time.Since(start).Seconds()
+			if traceOn {
+				solve.End()
+				rep.Spans = w.rec.Take()
+			}
 			if chaotic && ev.Kind == chaos.Corrupt {
 				cp := append([]float64(nil), local...)
 				w.sched.CorruptVec(ev, cp)
