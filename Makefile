@@ -5,7 +5,7 @@ GO ?= go
 # wedging CI at the default 10-minute package deadline.
 TESTFLAGS ?= -timeout 120s
 
-.PHONY: build test vet fmt race check bench bench-all chaos trace-demo
+.PHONY: build test vet fmt race check bench bench-all benchgate chaos trace-demo
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,9 @@ fmt:
 race:
 	$(GO) test -race $(TESTFLAGS) ./...
 
-# check is the CI gate: formatting, static analysis, the race-enabled suite.
-check: fmt vet race
+# check is the CI gate: formatting, static analysis, the race-enabled suite,
+# and the benchmark regression gate against the committed snapshot.
+check: fmt vet race benchgate
 
 # trace-demo runs a short traced experiment and validates that the emitted
 # Chrome trace-event JSON still parses and is internally consistent (every
@@ -50,13 +51,31 @@ chaos:
 	CHAOS_SOAK_ROUNDS=$(CHAOS_SOAK_ROUNDS) $(GO) test -race $(TESTFLAGS) -count=1 \
 		-run 'Chaos|Straggler|MinReport' ./internal/chaos/ ./internal/engine/ ./internal/transport/
 
-# bench runs the engine and solver benchmarks and records the results as
-# BENCH_engine.json (JSONL; one record per output line, raw text retained).
+# The recorded benchmark set: the engine/ablation hot paths plus the batched
+# NN kernels (forward/backward, minibatch gradient, full inner solve) and the
+# transport top-k selector. bench and benchgate must agree on this set, so a
+# benchmark in the snapshot is never silently absent from the gate run.
+BENCH_PATTERN := RoundAllocs|Ablation|NNBatch|NNMinibatch|NNInnerSolve|TopK
+BENCH_PKGS := . ./internal/engine ./internal/nn ./internal/models ./internal/optim ./internal/transport
+
+# bench runs the recorded benchmark set three times and snapshots the
+# results as BENCH_engine.json (JSONL; one record per output line, raw text
+# retained). benchgate budgets against the slowest of the three samples, so
+# the committed budget carries this machine's run-to-run noise envelope.
 # Reconstruct a benchstat-compatible stream with:
 #   jq -r .line BENCH_engine.json | benchstat /dev/stdin
 bench:
-	$(GO) test -run '^$$' -bench 'RoundAllocs|Ablation' -benchmem . ./internal/engine \
+	$(GO) test -run '^$$' -count=3 -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_engine.json
+
+# benchgate re-runs the recorded benchmark set and fails on a >10% ns/op
+# regression or any allocs/op growth versus the committed snapshot. Each
+# benchmark runs three times and the gate scores the fastest sample, so a
+# scheduler hiccup on one run doesn't fail CI. Regenerate the snapshot with
+# `make bench` after intentional performance changes.
+benchgate:
+	$(GO) test -run '^$$' -count=3 -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_engine.json
 
 # bench-all sweeps every benchmark in the repo (figure/table reproductions
 # included) without recording.

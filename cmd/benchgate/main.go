@@ -1,0 +1,217 @@
+// Command benchgate compares a fresh `go test -bench` run against the
+// committed benchmark snapshot (the JSONL written by benchjson) and fails
+// when performance regresses: any benchmark more than -tolerance slower
+// than its recorded ns/op, any benchmark exceeding its recorded allocs/op
+// budget, or any recorded benchmark missing from the fresh run.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchgate -baseline BENCH_engine.json
+//
+// Benchmarks present in the fresh run but absent from the baseline are
+// reported and ignored — new benchmarks enter the budget when the snapshot
+// is regenerated with `make bench`. Names are normalized by stripping the
+// trailing -GOMAXPROCS suffix so runs from machines with different core
+// counts compare against the same baseline entries.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark measurement. The JSON tags match the
+// records benchjson writes, so the baseline file decodes directly into it.
+type result struct {
+	Name        string   `json:"name"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	AllocsPerOp *int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "benchjson JSONL snapshot to compare against (required)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op slowdown before failing")
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	fresh, err := parseRun(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Printf("%-38s %12s %12s %8s  %s\n", "benchmark", "base ns/op", "fresh ns/op", "delta", "allocs")
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from fresh run", name))
+			fmt.Printf("%-38s %12s %12s %8s  MISSING\n", name, fmtNs(b.NsPerOp), "-", "-")
+			continue
+		}
+		status := "ok"
+		delta := "-"
+		if b.NsPerOp != nil && f.NsPerOp != nil {
+			d := (*f.NsPerOp - *b.NsPerOp) / *b.NsPerOp
+			delta = fmt.Sprintf("%+.1f%%", 100*d)
+			if d > *tolerance {
+				failures = append(failures, fmt.Sprintf("%s: %s slower than baseline (%.0f → %.0f ns/op, tolerance %.0f%%)",
+					name, delta, *b.NsPerOp, *f.NsPerOp, 100**tolerance))
+				status = "SLOW"
+			}
+		}
+		allocs := "-"
+		if b.AllocsPerOp != nil && f.AllocsPerOp != nil {
+			allocs = fmt.Sprintf("%d/%d", *b.AllocsPerOp, *f.AllocsPerOp)
+			if *f.AllocsPerOp > *b.AllocsPerOp {
+				failures = append(failures, fmt.Sprintf("%s: allocs/op grew %d → %d", name, *b.AllocsPerOp, *f.AllocsPerOp))
+				status = "ALLOCS"
+			}
+		}
+		fmt.Printf("%-38s %12s %12s %8s  %s %s\n", name, fmtNs(b.NsPerOp), fmtNs(f.NsPerOp), delta, allocs, status)
+	}
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-38s (not in baseline, ignored)\n", name)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: %d benchmarks within budget (tolerance %.0f%%)\n", len(base), 100**tolerance)
+}
+
+func fmtNs(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return strconv.FormatFloat(*v, 'f', 0, 64)
+}
+
+// normalize strips the -GOMAXPROCS suffix go test appends to benchmark
+// names when GOMAXPROCS > 1.
+func normalize(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// loadBaseline reads a benchjson JSONL snapshot, keeping only records that
+// carry a benchmark name. Repeated samples of one benchmark (a snapshot
+// taken with `-count=N`) collapse to the maximum ns/op and allocs/op: the
+// committed budget is the slowest sample a healthy build produced.
+func loadBaseline(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if r.Name == "" {
+			continue
+		}
+		name := normalize(r.Name)
+		r.Name = name
+		if prev, ok := out[name]; ok {
+			if r.NsPerOp == nil || (prev.NsPerOp != nil && *prev.NsPerOp > *r.NsPerOp) {
+				r.NsPerOp = prev.NsPerOp
+			}
+			if r.AllocsPerOp == nil || (prev.AllocsPerOp != nil && *prev.AllocsPerOp > *r.AllocsPerOp) {
+				r.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return out, nil
+}
+
+// parseRun parses `go test -bench` text output from r, echoing nothing.
+// The measurement grammar matches cmd/benchjson. Repeated measurements of
+// one benchmark (`-count=N`) collapse to the minimum ns/op — the least
+// noise-contaminated sample — and the maximum allocs/op.
+func parseRun(r *os.File) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // a Benchmark line without a count column (e.g. SKIP)
+		}
+		res := result{Name: normalize(fields[0])}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					res.NsPerOp = &v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					res.AllocsPerOp = &v
+				}
+			}
+		}
+		if prev, ok := out[res.Name]; ok {
+			if res.NsPerOp == nil || (prev.NsPerOp != nil && *prev.NsPerOp < *res.NsPerOp) {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if res.AllocsPerOp == nil || (prev.AllocsPerOp != nil && *prev.AllocsPerOp > *res.AllocsPerOp) {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[res.Name] = res
+	}
+	return out, sc.Err()
+}

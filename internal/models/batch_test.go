@@ -1,0 +1,169 @@
+package models
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/randx"
+)
+
+// classDataset builds a small random classification dataset.
+func classDataset(dim, classes, n int, seed int64) *data.Dataset {
+	rng := randx.New(seed)
+	ds := data.New(dim, classes, n)
+	x := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		randx.NormalVec(rng, x, 0, 1)
+		ds.AppendClass(x, i%classes)
+	}
+	return ds
+}
+
+// TestNNModelGradMatchesPerSample pins the batched whole-minibatch gradient
+// to the per-sample reference path within 1e-9, for the MLP and the (thin)
+// paper CNN, on both the full-dataset and the gathered-index paths.
+func TestNNModelGradMatchesPerSample(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *NNModel
+		dim  int
+	}{
+		{"MLP", NewMLP(20, 16, 4, 0.01), 20},
+		{"PaperCNN", NewPaperCNN(4, 16, 0), 784},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := classDataset(tc.dim, 4, 70, 31)
+			rng := randx.New(32)
+			w := make([]float64, tc.m.Dim())
+			tc.m.InitParams(rng, w)
+			batched := make([]float64, tc.m.Dim())
+			ref := make([]float64, tc.m.Dim())
+			for _, idx := range [][]int{nil, {0}, {5, 3, 5, 60}, {1, 2, 3, 4, 5, 6, 7}} {
+				tc.m.Grad(batched, w, ds, idx)
+				tc.m.GradPerSample(ref, w, ds, idx)
+				for i := range batched {
+					if d := math.Abs(batched[i] - ref[i]); d > 1e-9*(1+math.Abs(ref[i])) {
+						t.Fatalf("idx=%v grad[%d]: batched %v, per-sample %v", idx, i, batched[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNNModelGradBitDeterministic asserts repeated batched gradients, and
+// gradients under different GOMAXPROCS values, are bit-identical.
+func TestNNModelGradBitDeterministic(t *testing.T) {
+	m := NewMLP(50, 32, 5, 0)
+	ds := classDataset(50, 5, 96, 33)
+	rng := randx.New(34)
+	w := make([]float64, m.Dim())
+	m.InitParams(rng, w)
+	run := func() []float64 {
+		g := make([]float64, m.Dim())
+		m.Grad(g, w, ds, nil)
+		return g
+	}
+	ref := run()
+	again := run()
+	for i := range ref {
+		if ref[i] != again[i] {
+			t.Fatalf("rerun differs at %d", i)
+		}
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, old} {
+		runtime.GOMAXPROCS(procs)
+		got := run()
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("GOMAXPROCS=%d changes grad[%d]", procs, i)
+			}
+		}
+	}
+}
+
+// TestModelGradZeroAllocSteadyState asserts the batched Grad hot path of
+// every model allocates nothing once scratch is warm.
+func TestModelGradZeroAllocSteadyState(t *testing.T) {
+	ds := classDataset(30, 3, 80, 35)
+	reg := classDataset(30, 3, 80, 36)
+	// Regression labels for the linear model.
+	reg.YReg = make([]float64, reg.N())
+	for i := range reg.YReg {
+		reg.YReg[i] = float64(i%7) - 3
+	}
+	idx := []int{4, 9, 17, 2, 55, 31, 8, 70}
+	models := []struct {
+		name string
+		m    Model
+		ds   *data.Dataset
+	}{
+		{"Softmax", NewSoftmax(30, 3, 0.1), ds},
+		{"MLP", NewMLP(30, 16, 3, 0.1), ds},
+		{"SVM", NewSVM(30, true, 0.1), ds},
+		{"Linear", NewLinearRegression(30, true, 0.1), reg},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := randx.New(37)
+			w := make([]float64, tc.m.Dim())
+			randx.NormalVec(rng, w, 0, 0.1)
+			g := make([]float64, tc.m.Dim())
+			tc.m.Grad(g, w, tc.ds, idx) // warm scratch and worker pool
+			tc.m.Grad(g, w, tc.ds, nil)
+			allocs := testing.AllocsPerRun(10, func() {
+				tc.m.Grad(g, w, tc.ds, idx)
+				tc.m.Grad(g, w, tc.ds, nil)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s Grad allocates %v per call pair, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+func benchGradModel() (*NNModel, *data.Dataset, []float64) {
+	m := NewMLP(784, 128, 10, 0)
+	ds := classDataset(784, 10, 256, 41)
+	rng := randx.New(42)
+	w := make([]float64, m.Dim())
+	m.InitParams(rng, w)
+	return m, ds, w
+}
+
+// BenchmarkNNMinibatchGrad32 measures one batched 32-sample minibatch
+// gradient of the MLP — the SVRG/SARAH inner-loop unit of work.
+func BenchmarkNNMinibatchGrad32(b *testing.B) {
+	m, ds, w := benchGradModel()
+	idx := make([]int, 32)
+	for i := range idx {
+		idx[i] = (i * 7) % ds.N()
+	}
+	g := make([]float64, m.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Grad(g, w, ds, idx)
+	}
+}
+
+// BenchmarkNNMinibatchGradPerSample32 is the same work on the per-sample
+// reference path — the pre-batching baseline kept for comparison.
+func BenchmarkNNMinibatchGradPerSample32(b *testing.B) {
+	m, ds, w := benchGradModel()
+	idx := make([]int, 32)
+	for i := range idx {
+		idx[i] = (i * 7) % ds.N()
+	}
+	g := make([]float64, m.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GradPerSample(g, w, ds, idx)
+	}
+}

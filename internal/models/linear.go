@@ -3,15 +3,23 @@ package models
 import (
 	"fedproxvr/internal/data"
 	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/tensor"
 )
 
 // LinearRegression is the least-squares model from the paper's System Model
 // section: f_i(w) = ½(x_iᵀw − y_i)², with optional L2 regularization. The
 // parameter vector is w ∈ R^d plus one trailing bias if Bias is set.
+//
+// Loss and Grad run batch-first: a chunk of residuals is one X·w product
+// and the gradient one Xᵀ·r accumulation.
 type LinearRegression struct {
 	Features int
 	Bias     bool
 	L2       float64
+
+	res  []float64 // per-chunk residuals, gradChunk
+	xbuf []float64 // gathered rows, gradChunk×Features (idx path only)
+	par  *tensor.Par
 }
 
 // NewLinearRegression constructs the model for d input features.
@@ -19,7 +27,10 @@ func NewLinearRegression(d int, bias bool, l2 float64) *LinearRegression {
 	if d <= 0 {
 		panic("models: features must be positive")
 	}
-	return &LinearRegression{Features: d, Bias: bias, L2: l2}
+	return &LinearRegression{Features: d, Bias: bias, L2: l2,
+		res:  make([]float64, gradChunk),
+		xbuf: make([]float64, gradChunk*d),
+		par:  tensor.NewPar()}
 }
 
 // Dim implements Model.
@@ -30,31 +41,43 @@ func (m *LinearRegression) Dim() int {
 	return m.Features
 }
 
-// residual returns xᵀw + b − y for sample i.
-func (m *LinearRegression) residual(w []float64, ds *data.Dataset, i int) float64 {
-	x := ds.Sample(i)
-	r := mathx.Dot(w[:m.Features], x) - ds.YReg[i]
-	if m.Bias {
-		r += w[m.Features]
+// residualChunk fills m.res[:b] with x_iᵀw + bias − y_i for the chunk
+// [lo, lo+b) and returns the gathered input rows.
+func (m *LinearRegression) residualChunk(w []float64, ds *data.Dataset, idx []int, lo, b int) ([]float64, []float64) {
+	x := gatherRows(ds, idx, lo, b, m.xbuf)
+	res := m.res[:b]
+	tensor.MatOf(b, m.Features, x).MulVec(res, w[:m.Features])
+	for r := 0; r < b; r++ {
+		i := lo + r
+		if idx != nil {
+			i = idx[lo+r]
+		}
+		res[r] -= ds.YReg[i]
+		if m.Bias {
+			res[r] += w[m.Features]
+		}
 	}
-	return r
+	return res, x
 }
 
 // Loss implements Model.
 func (m *LinearRegression) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
-	var sum float64
-	forBatch(ds, idx, func(i int) {
-		r := m.residual(w, ds, i)
-		sum += 0.5 * r * r
-	})
 	n := batchSize(ds, idx)
 	if n == 0 {
 		return 0
 	}
+	var sum float64
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		res, _ := m.residualChunk(w, ds, idx, lo, b)
+		for _, r := range res {
+			sum += 0.5 * r * r
+		}
+	}
 	return sum/float64(n) + addL2(m.L2, w, nil)
 }
 
-// Grad implements Model.
+// Grad implements Model: ∇ = (1/n) Σ r_i·x_i, one Xᵀ·r per chunk.
 func (m *LinearRegression) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
 	mathx.Zero(grad)
 	n := batchSize(ds, idx)
@@ -62,13 +85,18 @@ func (m *LinearRegression) Grad(grad, w []float64, ds *data.Dataset, idx []int) 
 		return
 	}
 	inv := 1 / float64(n)
-	forBatch(ds, idx, func(i int) {
-		r := m.residual(w, ds, i) * inv
-		mathx.Axpy(r, ds.Sample(i), grad[:m.Features])
+	gw := tensor.MatOf(1, m.Features, grad[:m.Features])
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		res, x := m.residualChunk(w, ds, idx, lo, b)
+		mathx.Scal(inv, res)
+		m.par.GemmTN(1, tensor.MatOf(b, 1, res), tensor.MatOf(b, m.Features, x), 1, gw)
 		if m.Bias {
-			grad[m.Features] += r
+			for _, r := range res {
+				grad[m.Features] += r
+			}
 		}
-	})
+	}
 	addL2(m.L2, w, grad)
 }
 
@@ -81,18 +109,23 @@ func (m *LinearRegression) PredictValue(w, x []float64) float64 {
 	return v
 }
 
-// Clone implements Model. LinearRegression keeps no scratch, so the
-// receiver itself is returned.
-func (m *LinearRegression) Clone() Model { return m }
+// Clone implements Model: shares the immutable shape, fresh scratch.
+func (m *LinearRegression) Clone() Model {
+	return NewLinearRegression(m.Features, m.Bias, m.L2)
+}
 
 // SVM is the binary support-vector machine from the paper's System Model
 // section, labels in {−1, +1} encoded as classes {0, 1}. With Squared set
 // it uses the smooth squared hinge ½·max(0, 1−y·xᵀw)²; otherwise the plain
-// hinge with its subgradient.
+// hinge with its subgradient. Scores are computed one chunk GEMV at a time.
 type SVM struct {
 	Features int
 	Squared  bool
 	L2       float64
+
+	res  []float64 // per-chunk scores then coefficients, gradChunk
+	xbuf []float64 // gathered rows, gradChunk×Features (idx path only)
+	par  *tensor.Par
 }
 
 // NewSVM constructs a binary SVM over d features.
@@ -100,7 +133,10 @@ func NewSVM(d int, squared bool, l2 float64) *SVM {
 	if d <= 0 {
 		panic("models: features must be positive")
 	}
-	return &SVM{Features: d, Squared: squared, L2: l2}
+	return &SVM{Features: d, Squared: squared, L2: l2,
+		res:  make([]float64, gradChunk),
+		xbuf: make([]float64, gradChunk*d),
+		par:  tensor.NewPar()}
 }
 
 // Dim implements Model.
@@ -116,25 +152,34 @@ func label(y int) float64 {
 
 // Loss implements Model.
 func (m *SVM) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
-	var sum float64
-	forBatch(ds, idx, func(i int) {
-		margin := 1 - label(ds.Y[i])*mathx.Dot(w, ds.Sample(i))
-		if margin > 0 {
-			if m.Squared {
-				sum += 0.5 * margin * margin
-			} else {
-				sum += margin
-			}
-		}
-	})
 	n := batchSize(ds, idx)
 	if n == 0 {
 		return 0
 	}
+	var sum float64
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		x := gatherRows(ds, idx, lo, b, m.xbuf)
+		scores := m.res[:b]
+		tensor.MatOf(b, m.Features, x).MulVec(scores, w)
+		for r := 0; r < b; r++ {
+			margin := 1 - label(chunkLabel(ds, idx, lo, r))*scores[r]
+			if margin > 0 {
+				if m.Squared {
+					sum += 0.5 * margin * margin
+				} else {
+					sum += margin
+				}
+			}
+		}
+	}
 	return sum/float64(n) + addL2(m.L2, w, nil)
 }
 
-// Grad implements Model.
+// Grad implements Model: for violating samples, ∇ += coef_i·x_i with
+// coef_i = −y_i/n (times the margin for the squared hinge), one Xᵀ·coef
+// per chunk. Satisfied samples get a zero coefficient, which the kernel
+// skips.
 func (m *SVM) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
 	mathx.Zero(grad)
 	n := batchSize(ds, idx)
@@ -142,19 +187,27 @@ func (m *SVM) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
 		return
 	}
 	inv := 1 / float64(n)
-	forBatch(ds, idx, func(i int) {
-		y := label(ds.Y[i])
-		x := ds.Sample(i)
-		margin := 1 - y*mathx.Dot(w, x)
-		if margin <= 0 {
-			return
+	gw := tensor.MatOf(1, m.Features, grad)
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		x := gatherRows(ds, idx, lo, b, m.xbuf)
+		coef := m.res[:b]
+		tensor.MatOf(b, m.Features, x).MulVec(coef, w)
+		for r := 0; r < b; r++ {
+			y := label(chunkLabel(ds, idx, lo, r))
+			margin := 1 - y*coef[r]
+			if margin <= 0 {
+				coef[r] = 0
+				continue
+			}
+			c := -y * inv
+			if m.Squared {
+				c *= margin
+			}
+			coef[r] = c
 		}
-		coef := -y * inv
-		if m.Squared {
-			coef *= margin
-		}
-		mathx.Axpy(coef, x, grad)
-	})
+		m.par.GemmTN(1, tensor.MatOf(b, 1, coef), tensor.MatOf(b, m.Features, x), 1, gw)
+	}
 	addL2(m.L2, w, grad)
 }
 
@@ -166,5 +219,5 @@ func (m *SVM) Predict(w, x []float64) int {
 	return 0
 }
 
-// Clone implements Model.
-func (m *SVM) Clone() Model { return m }
+// Clone implements Model: shares the immutable shape, fresh scratch.
+func (m *SVM) Clone() Model { return NewSVM(m.Features, m.Squared, m.L2) }

@@ -79,6 +79,28 @@ func forBatch(ds *data.Dataset, idx []int, fn func(i int)) {
 	}
 }
 
+// gatherRows returns the b×Dim input rows for the chunk [lo, lo+b) of a
+// selection: a zero-copy view of the dataset's row-major storage when
+// idx == nil, otherwise a gather into buf.
+func gatherRows(ds *data.Dataset, idx []int, lo, b int, buf []float64) []float64 {
+	if idx == nil {
+		return ds.X[lo*ds.Dim : (lo+b)*ds.Dim]
+	}
+	d := ds.Dim
+	for r := 0; r < b; r++ {
+		copy(buf[r*d:(r+1)*d], ds.Sample(idx[lo+r]))
+	}
+	return buf[:b*d]
+}
+
+// chunkLabel returns the class label of row r of the chunk at lo.
+func chunkLabel(ds *data.Dataset, idx []int, lo, r int) int {
+	if idx == nil {
+		return ds.Y[lo+r]
+	}
+	return ds.Y[idx[lo+r]]
+}
+
 // addL2 adds the value and gradient of (reg/2)‖w‖² to a loss/grad pair.
 // Returns the regularization value; if grad is non-nil adds reg*w into it.
 func addL2(reg float64, w, grad []float64) float64 {

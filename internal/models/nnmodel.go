@@ -9,26 +9,36 @@ import (
 	"fedproxvr/internal/tensor"
 )
 
+// gradChunk is the fixed internal batch size for whole-minibatch passes.
+// Chunks are processed in ascending order, so results do not depend on the
+// chunk size picking different parallel schedules — only on the (fixed)
+// reduction orders inside the batched kernels.
+const gradChunk = 32
+
 // NNModel wraps an nn.Network with a softmax cross-entropy head, turning it
 // into a Model/Classifier usable by all federated algorithms. The network
 // is shared immutably between clones; each clone owns its workspace.
+//
+// Loss and Grad are batch-first: the selected samples flow through the
+// network gradChunk rows at a time as blocked GEMMs. GradPerSample keeps
+// the one-sample-at-a-time reference path for equivalence tests.
 type NNModel struct {
 	Net *nn.Network
 	L2  float64
 
-	ws    *nn.Workspace
-	probs []float64
-	dOut  []float64
+	ws   *nn.Workspace
+	xbuf []float64 // gathered input rows, gradChunk×InSize (idx path only)
+	dOut []float64 // head gradient / probability scratch, gradChunk×OutSize
 }
 
 // NewNNModel wraps net; net.OutSize() is the class count.
 func NewNNModel(net *nn.Network, l2 float64) *NNModel {
 	return &NNModel{
-		Net:   net,
-		L2:    l2,
-		ws:    net.NewWorkspace(),
-		probs: make([]float64, net.OutSize()),
-		dOut:  make([]float64, net.OutSize()),
+		Net:  net,
+		L2:   l2,
+		ws:   net.NewWorkspaceBatch(gradChunk),
+		xbuf: make([]float64, gradChunk*net.InSize()),
+		dOut: make([]float64, gradChunk*net.OutSize()),
 	}
 }
 
@@ -37,21 +47,27 @@ func (m *NNModel) Dim() int { return m.Net.NumParams() }
 
 // Loss implements Model.
 func (m *NNModel) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
-	var sum float64
-	forBatch(ds, idx, func(i int) {
-		out := m.Net.Forward(w, ds.Sample(i), m.ws)
-		copy(m.probs, out)
-		lse := mathx.LogSumExp(m.probs)
-		sum += lse - m.probs[ds.Y[i]]
-	})
 	n := batchSize(ds, idx)
 	if n == 0 {
 		return 0
 	}
+	out := m.Net.OutSize()
+	var sum float64
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		x := gatherRows(ds, idx, lo, b, m.xbuf)
+		y := m.Net.ForwardBatch(w, x, b, m.ws)
+		for r := 0; r < b; r++ {
+			row := m.dOut[r*out : (r+1)*out]
+			copy(row, y[r*out:(r+1)*out])
+			sum += mathx.LogSumExp(row) - row[chunkLabel(ds, idx, lo, r)]
+		}
+	}
 	return sum/float64(n) + addL2(m.L2, w, nil)
 }
 
-// Grad implements Model: backprop of (softmax − onehot)/n through the net.
+// Grad implements Model: backprop of (softmax − onehot)/n through the net,
+// whole chunks at a time.
 func (m *NNModel) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
 	mathx.Zero(grad)
 	n := batchSize(ds, idx)
@@ -59,13 +75,42 @@ func (m *NNModel) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
 		return
 	}
 	inv := 1 / float64(n)
+	out := m.Net.OutSize()
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		x := gatherRows(ds, idx, lo, b, m.xbuf)
+		y := m.Net.ForwardBatch(w, x, b, m.ws)
+		dOut := m.dOut[:b*out]
+		copy(dOut, y)
+		for r := 0; r < b; r++ {
+			row := dOut[r*out : (r+1)*out]
+			mathx.SoftmaxInPlace(row)
+			row[chunkLabel(ds, idx, lo, r)] -= 1
+			mathx.Scal(inv, row)
+		}
+		m.Net.BackwardBatch(w, dOut, b, m.ws, grad)
+	}
+	addL2(m.L2, w, grad)
+}
+
+// GradPerSample is the one-sample-at-a-time reference gradient, kept for
+// equivalence tests against the batched path. Same semantics as Grad.
+func (m *NNModel) GradPerSample(grad, w []float64, ds *data.Dataset, idx []int) {
+	mathx.Zero(grad)
+	n := batchSize(ds, idx)
+	if n == 0 {
+		return
+	}
+	inv := 1 / float64(n)
+	out := m.Net.OutSize()
 	forBatch(ds, idx, func(i int) {
-		out := m.Net.Forward(w, ds.Sample(i), m.ws)
-		copy(m.dOut, out)
-		mathx.SoftmaxInPlace(m.dOut)
-		m.dOut[ds.Y[i]] -= 1
-		mathx.Scal(inv, m.dOut)
-		m.Net.Backward(w, m.dOut, m.ws, grad)
+		y := m.Net.Forward(w, ds.Sample(i), m.ws)
+		dOut := m.dOut[:out]
+		copy(dOut, y)
+		mathx.SoftmaxInPlace(dOut)
+		dOut[ds.Y[i]] -= 1
+		mathx.Scal(inv, dOut)
+		m.Net.Backward(w, dOut, m.ws, grad)
 	})
 	addL2(m.L2, w, grad)
 }

@@ -5,6 +5,7 @@ import (
 
 	"fedproxvr/internal/data"
 	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/tensor"
 )
 
 // Softmax is multinomial logistic regression — the paper's convex task
@@ -12,12 +13,17 @@ import (
 // Parameters are the weight matrix W (C×d, row-major) followed by the bias
 // b (C). The per-sample loss is cross-entropy −log softmax(Wx+b)[y], plus
 // optional L2 regularization on the whole parameter vector.
+//
+// Loss and Grad are batch-first: a chunk of samples becomes one
+// logits = X·Wᵀ GEMM, and the gradient one dW += dLᵀ·X GEMM.
 type Softmax struct {
 	Features int
 	Classes  int
 	L2       float64
 
-	logits []float64 // scratch (len Classes); cloned per goroutine
+	logits []float64 // gradChunk×Classes scratch; cloned per goroutine
+	xbuf   []float64 // gathered rows, gradChunk×Features (idx path only)
+	par    *tensor.Par
 }
 
 // NewSoftmax constructs the model.
@@ -26,38 +32,45 @@ func NewSoftmax(d, classes int, l2 float64) *Softmax {
 		panic("models: Softmax needs d>0 and classes>1")
 	}
 	return &Softmax{Features: d, Classes: classes, L2: l2,
-		logits: make([]float64, classes)}
+		logits: make([]float64, gradChunk*classes),
+		xbuf:   make([]float64, gradChunk*d),
+		par:    tensor.NewPar()}
 }
 
 // Dim implements Model.
 func (m *Softmax) Dim() int { return m.Classes*m.Features + m.Classes }
 
-// forward fills m.logits with softmax probabilities for sample x and
-// returns the log-partition value used for the loss.
-func (m *Softmax) forward(w, x []float64) {
+// forwardChunk fills m.logits[:b*Classes] with the affine scores of the
+// chunk [lo, lo+b): logits = X·Wᵀ + 1·bᵀ.
+func (m *Softmax) forwardChunk(w []float64, ds *data.Dataset, idx []int, lo, b int) tensor.Mat {
 	nw := m.Classes * m.Features
-	b := w[nw:]
-	for c := 0; c < m.Classes; c++ {
-		m.logits[c] = b[c] + mathx.Dot(w[c*m.Features:(c+1)*m.Features], x)
-	}
+	x := gatherRows(ds, idx, lo, b, m.xbuf)
+	lm := tensor.MatOf(b, m.Classes, m.logits[:b*m.Classes])
+	m.par.GemmNT(1, tensor.MatOf(b, m.Features, x), tensor.MatOf(m.Classes, m.Features, w[:nw]), 0, lm)
+	tensor.AddRowVec(lm, w[nw:])
+	return lm
 }
 
 // Loss implements Model.
 func (m *Softmax) Loss(w []float64, ds *data.Dataset, idx []int) float64 {
-	var sum float64
-	forBatch(ds, idx, func(i int) {
-		m.forward(w, ds.Sample(i))
-		lse := mathx.LogSumExp(m.logits)
-		sum += lse - m.logits[ds.Y[i]]
-	})
 	n := batchSize(ds, idx)
 	if n == 0 {
 		return 0
 	}
+	var sum float64
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		lm := m.forwardChunk(w, ds, idx, lo, b)
+		for r := 0; r < b; r++ {
+			row := lm.Row(r)
+			sum += mathx.LogSumExp(row) - row[chunkLabel(ds, idx, lo, r)]
+		}
+	}
 	return sum/float64(n) + addL2(m.L2, w, nil)
 }
 
-// Grad implements Model: ∇_{W_c} = (p_c − 1{y=c})·x, ∇_{b_c} = p_c − 1{y=c}.
+// Grad implements Model: ∇_{W_c} = (p_c − 1{y=c})·x, ∇_{b_c} = p_c − 1{y=c},
+// accumulated one chunk GEMM at a time in ascending sample order.
 func (m *Softmax) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
 	mathx.Zero(grad)
 	n := batchSize(ds, idx)
@@ -66,20 +79,22 @@ func (m *Softmax) Grad(grad, w []float64, ds *data.Dataset, idx []int) {
 	}
 	inv := 1 / float64(n)
 	nw := m.Classes * m.Features
-	forBatch(ds, idx, func(i int) {
-		x := ds.Sample(i)
-		m.forward(w, x)
-		mathx.SoftmaxInPlace(m.logits)
-		m.logits[ds.Y[i]] -= 1
-		for c := 0; c < m.Classes; c++ {
-			g := m.logits[c] * inv
-			if g == 0 {
-				continue
-			}
-			mathx.Axpy(g, x, grad[c*m.Features:(c+1)*m.Features])
-			grad[nw+c] += g
+	dw := tensor.MatOf(m.Classes, m.Features, grad[:nw])
+	for lo := 0; lo < n; lo += gradChunk {
+		b := min(gradChunk, n-lo)
+		lm := m.forwardChunk(w, ds, idx, lo, b)
+		for r := 0; r < b; r++ {
+			row := lm.Row(r)
+			mathx.SoftmaxInPlace(row)
+			row[chunkLabel(ds, idx, lo, r)] -= 1
+			mathx.Scal(inv, row)
 		}
-	})
+		// x is still the gathered chunk from forwardChunk (or the zero-copy
+		// dataset view on the idx == nil path).
+		x := gatherRows(ds, idx, lo, b, m.xbuf)
+		m.par.GemmTN(1, lm, tensor.MatOf(b, m.Features, x), 1, dw)
+		tensor.ColSumsAcc(grad[nw:], lm)
+	}
 	addL2(m.L2, w, grad)
 }
 

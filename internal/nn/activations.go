@@ -2,7 +2,8 @@ package nn
 
 import "math"
 
-// ReLU is the element-wise rectifier max(0, x). It has no parameters.
+// ReLU is the element-wise rectifier max(0, x). It has no parameters; the
+// batched forward/backward is one flat vectorized sweep over b×Size values.
 type ReLU struct {
 	Size int
 }
@@ -25,34 +26,38 @@ func (r *ReLU) OutSize() int { return r.Size }
 func (r *ReLU) NumParams() int { return 0 }
 
 type reluCache struct {
-	mask []bool // true where input > 0
+	mask []bool // true where input > 0, maxBatch×Size
 }
 
 // NewCache implements Layer.
-func (r *ReLU) NewCache() Cache { return &reluCache{mask: make([]bool, r.Size)} }
+func (r *ReLU) NewCache(maxBatch int) Cache {
+	return &reluCache{mask: make([]bool, maxBatch*r.Size)}
+}
 
 // Forward implements Layer.
-func (r *ReLU) Forward(params, in, out []float64, cache Cache) {
+func (r *ReLU) Forward(params, x, y []float64, b int, cache Cache) {
 	c := cache.(*reluCache)
-	for i, v := range in {
+	mask := c.mask[:b*r.Size]
+	for i, v := range x {
 		if v > 0 {
-			out[i] = v
-			c.mask[i] = true
+			y[i] = v
+			mask[i] = true
 		} else {
-			out[i] = 0
-			c.mask[i] = false
+			y[i] = 0
+			mask[i] = false
 		}
 	}
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+func (r *ReLU) Backward(params, dY, dX, dParams []float64, b int, cache Cache) {
 	c := cache.(*reluCache)
-	for i, m := range c.mask {
+	mask := c.mask[:b*r.Size]
+	for i, m := range mask {
 		if m {
-			dIn[i] = dOut[i]
+			dX[i] = dY[i]
 		} else {
-			dIn[i] = 0
+			dX[i] = 0
 		}
 	}
 }
@@ -80,25 +85,29 @@ func (t *Tanh) OutSize() int { return t.Size }
 func (t *Tanh) NumParams() int { return 0 }
 
 type tanhCache struct {
-	out []float64
+	out []float64 // maxBatch×Size
 }
 
 // NewCache implements Layer.
-func (t *Tanh) NewCache() Cache { return &tanhCache{out: make([]float64, t.Size)} }
+func (t *Tanh) NewCache(maxBatch int) Cache {
+	return &tanhCache{out: make([]float64, maxBatch*t.Size)}
+}
 
 // Forward implements Layer.
-func (t *Tanh) Forward(params, in, out []float64, cache Cache) {
+func (t *Tanh) Forward(params, x, y []float64, b int, cache Cache) {
 	c := cache.(*tanhCache)
-	for i, v := range in {
-		out[i] = math.Tanh(v)
-		c.out[i] = out[i]
+	out := c.out[:b*t.Size]
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+		out[i] = y[i]
 	}
 }
 
 // Backward implements Layer: d tanh = 1 - tanh².
-func (t *Tanh) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+func (t *Tanh) Backward(params, dY, dX, dParams []float64, b int, cache Cache) {
 	c := cache.(*tanhCache)
-	for i, y := range c.out {
-		dIn[i] = dOut[i] * (1 - y*y)
+	out := c.out[:b*t.Size]
+	for i, y := range out {
+		dX[i] = dY[i] * (1 - y*y)
 	}
 }

@@ -9,7 +9,13 @@ import (
 // Conv2D is a 2-D convolution over channels-first volumes, implemented as
 // im2col + GEMM. The parameter view holds the kernel W, row-major
 // (OutC × InC*KH*KW), followed by the per-output-channel bias (OutC).
-// Activations are flat: input len = InC*InH*InW, output len = OutC*OutH*OutW.
+// Per-sample activations are flat: input len = InC*InH*InW, output len =
+// OutC*OutH*OutW; a batch is b such rows.
+//
+// Batched execution is deterministic by construction: forward and the
+// input-gradient pass fan out over samples (disjoint outputs), while the
+// weight gradient fans out over rows of dW with the batch reduced in
+// ascending sample order inside each row block.
 type Conv2D struct {
 	Shape tensor.ConvShape
 	OutC  int
@@ -38,67 +44,131 @@ func (c *Conv2D) OutSize() int { return c.OutC * c.Shape.OutH() * c.Shape.OutW()
 // NumParams implements Layer.
 func (c *Conv2D) NumParams() int { return c.OutC*c.Shape.ColRows() + c.OutC }
 
+// convDWGrain is the fixed row-block size for the dW reduction fan-out.
+const convDWGrain = 4
+
 type convCache struct {
-	col  []float64 // im2col of the forward input (ColRows × ColCols)
-	dcol []float64 // scratch for the backward col gradient
+	layer *Conv2D
+	col   []float64 // per-sample im2col, maxBatch×(ColRows×ColCols); reused as dcol scratch in the input-gradient pass
+	par   *tensor.Par
+
+	// Per-call operands for the pre-bound bodies (no closure allocation on
+	// the hot path).
+	params, x, y, dY, dX, dParams []float64
+	b                             int
+
+	fwdBody, dwBody, dxBody func(lo, hi int)
 }
 
 // NewCache implements Layer.
-func (c *Conv2D) NewCache() Cache {
-	n := c.Shape.ColRows() * c.Shape.ColCols()
-	return &convCache{col: make([]float64, n), dcol: make([]float64, n)}
+func (c *Conv2D) NewCache(maxBatch int) Cache {
+	colN := c.Shape.ColRows() * c.Shape.ColCols()
+	cc := &convCache{
+		layer: c,
+		col:   make([]float64, maxBatch*colN),
+		par:   tensor.NewPar(),
+	}
+	cc.fwdBody = cc.forwardSamples
+	cc.dwBody = cc.weightGradRows
+	cc.dxBody = cc.inputGradSamples
+	return cc
 }
 
-// Forward implements Layer: out = W·col(in) + b.
-func (c *Conv2D) Forward(params, in, out []float64, cache Cache) {
-	cc := cache.(*convCache)
-	tensor.Im2Col(c.Shape, in, cc.col)
-	nw := c.OutC * c.Shape.ColRows()
-	w := tensor.WrapMatrix(c.OutC, c.Shape.ColRows(), params[:nw])
-	b := params[nw:]
-	colM := tensor.WrapMatrix(c.Shape.ColRows(), c.Shape.ColCols(), cc.col)
-	outM := tensor.WrapMatrix(c.OutC, c.Shape.ColCols(), out)
-	tensor.Gemm(1, w, colM, 0, outM)
-	cols := c.Shape.ColCols()
-	for oc := 0; oc < c.OutC; oc++ {
-		bias := b[oc]
-		row := out[oc*cols : (oc+1)*cols]
-		for i := range row {
-			row[i] += bias
+// forwardSamples computes samples [lo, hi): im2col then one GEMM each.
+func (cc *convCache) forwardSamples(lo, hi int) {
+	l := cc.layer
+	rows, cols := l.Shape.ColRows(), l.Shape.ColCols()
+	colN := rows * cols
+	inN, outN := l.InSize(), l.OutSize()
+	nw := l.OutC * rows
+	w := tensor.MatOf(l.OutC, rows, cc.params[:nw])
+	bias := cc.params[nw:]
+	for s := lo; s < hi; s++ {
+		colS := cc.col[s*colN : (s+1)*colN]
+		tensor.Im2Col(l.Shape, cc.x[s*inN:(s+1)*inN], colS)
+		outS := tensor.MatOf(l.OutC, cols, cc.y[s*outN:(s+1)*outN])
+		tensor.GemmNN(1, w, tensor.MatOf(rows, cols, colS), 0, outS)
+		for oc := 0; oc < l.OutC; oc++ {
+			bv := bias[oc]
+			row := outS.Row(oc)
+			for i := range row {
+				row[i] += bv
+			}
 		}
 	}
+}
+
+// weightGradRows accumulates dW rows [lo, hi) and the matching db entries,
+// reducing over the batch in ascending sample order:
+//
+//	dW += Σ_s dOut_s · col_sᵀ,   db_oc += Σ_s Σ dOut_s[oc].
+func (cc *convCache) weightGradRows(lo, hi int) {
+	l := cc.layer
+	rows, cols := l.Shape.ColRows(), l.Shape.ColCols()
+	colN := rows * cols
+	outN := l.OutSize()
+	nw := l.OutC * rows
+	dw := tensor.MatOf(l.OutC, rows, cc.dParams[:nw])
+	db := cc.dParams[nw:]
+	for s := 0; s < cc.b; s++ {
+		dOutS := tensor.MatOf(l.OutC, cols, cc.dY[s*outN:(s+1)*outN])
+		colS := tensor.MatOf(rows, cols, cc.col[s*colN:(s+1)*colN])
+		tensor.GemmNTRows(1, dOutS, colS, 1, dw, lo, hi)
+		for oc := lo; oc < hi; oc++ {
+			var sum float64
+			for _, v := range dOutS.Row(oc) {
+				sum += v
+			}
+			db[oc] += sum
+		}
+	}
+}
+
+// inputGradSamples computes dX for samples [lo, hi):
+// dIn_s = col2im(Wᵀ · dOut_s), overwriting the sample's im2col scratch
+// (the forward col is no longer needed once dW has been accumulated).
+func (cc *convCache) inputGradSamples(lo, hi int) {
+	l := cc.layer
+	rows, cols := l.Shape.ColRows(), l.Shape.ColCols()
+	colN := rows * cols
+	inN, outN := l.InSize(), l.OutSize()
+	nw := l.OutC * rows
+	w := tensor.MatOf(l.OutC, rows, cc.params[:nw])
+	for s := lo; s < hi; s++ {
+		dOutS := tensor.MatOf(l.OutC, cols, cc.dY[s*outN:(s+1)*outN])
+		dcolS := cc.col[s*colN : (s+1)*colN]
+		tensor.GemmTN(1, w, dOutS, 0, tensor.MatOf(rows, cols, dcolS))
+		dInS := cc.dX[s*inN : (s+1)*inN]
+		for i := range dInS {
+			dInS[i] = 0
+		}
+		tensor.Col2Im(l.Shape, dcolS, dInS)
+	}
+}
+
+// Forward implements Layer: out_s = W·col(in_s) + b for every sample,
+// fanned out over samples.
+func (c *Conv2D) Forward(params, x, y []float64, b int, cache Cache) {
+	cc := cache.(*convCache)
+	cc.params, cc.x, cc.y, cc.b = params, x, y, b
+	perSample := 2*c.OutC*c.Shape.ColRows()*c.Shape.ColCols() + c.InSize()
+	cc.par.Run(b, 1, b*perSample, cc.fwdBody)
 }
 
 // Backward implements Layer:
 //
-//	dW += dOut · colᵀ,   db_oc += Σ dOut_oc,   dIn = col2im(Wᵀ · dOut).
-func (c *Conv2D) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+//	dW += Σ_s dOut_s · col_sᵀ,   db_oc += Σ_s Σ dOut_s[oc],
+//	dIn_s = col2im(Wᵀ · dOut_s).
+func (c *Conv2D) Backward(params, dY, dX, dParams []float64, b int, cache Cache) {
 	cc := cache.(*convCache)
-	nw := c.OutC * c.Shape.ColRows()
-	w := tensor.WrapMatrix(c.OutC, c.Shape.ColRows(), params[:nw])
-	dw := tensor.WrapMatrix(c.OutC, c.Shape.ColRows(), dParams[:nw])
-	db := dParams[nw:]
-	cols := c.Shape.ColCols()
-
-	dOutM := tensor.WrapMatrix(c.OutC, cols, dOut)
-	colM := tensor.WrapMatrix(c.Shape.ColRows(), cols, cc.col)
-	// dW += dOut (OutC×cols) · colᵀ (cols×ColRows)
-	tensor.Gemm(1, dOutM, colM.Transpose(), 1, dw)
-	for oc := 0; oc < c.OutC; oc++ {
-		row := dOut[oc*cols : (oc+1)*cols]
-		var s float64
-		for _, v := range row {
-			s += v
-		}
-		db[oc] += s
+	if b != cc.b {
+		panic("nn: Conv2D Backward batch differs from last Forward")
 	}
-	// dcol = Wᵀ · dOut, then scatter back to input coordinates.
-	dcolM := tensor.WrapMatrix(c.Shape.ColRows(), cols, cc.dcol)
-	tensor.Gemm(1, w.Transpose(), dOutM, 0, dcolM)
-	for i := range dIn {
-		dIn[i] = 0
-	}
-	tensor.Col2Im(c.Shape, cc.dcol, dIn)
+	cc.params, cc.dY, cc.dX, cc.dParams = params, dY, dX, dParams
+	gemmCost := 2 * c.OutC * c.Shape.ColRows() * c.Shape.ColCols()
+	// dW first: the input-gradient pass overwrites the im2col scratch.
+	cc.par.Run(c.OutC, convDWGrain, b*gemmCost, cc.dwBody)
+	cc.par.Run(b, 1, b*(gemmCost+c.InSize()), cc.dxBody)
 }
 
 // Init implements Initializer: Glorot-uniform kernel, zero bias.
@@ -137,46 +207,85 @@ func (p *MaxPool2D) OutSize() int { return p.C * (p.H / p.K) * (p.W / p.K) }
 func (p *MaxPool2D) NumParams() int { return 0 }
 
 type poolCache struct {
-	argmax []int // index into the input for each output element
+	layer  *MaxPool2D
+	argmax []int // per-sample index into the sample's input, maxBatch×OutSize
+	par    *tensor.Par
+
+	x, y, dY, dX []float64
+	b            int
+
+	fwdBody, bwdBody func(lo, hi int)
 }
 
 // NewCache implements Layer.
-func (p *MaxPool2D) NewCache() Cache { return &poolCache{argmax: make([]int, p.OutSize())} }
+func (p *MaxPool2D) NewCache(maxBatch int) Cache {
+	pc := &poolCache{layer: p, argmax: make([]int, maxBatch*p.OutSize()), par: tensor.NewPar()}
+	pc.fwdBody = pc.forwardSamples
+	pc.bwdBody = pc.backwardSamples
+	return pc
+}
 
-// Forward implements Layer.
-func (p *MaxPool2D) Forward(params, in, out []float64, cache Cache) {
-	pc := cache.(*poolCache)
+func (pc *poolCache) forwardSamples(lo, hi int) {
+	p := pc.layer
+	inN, outN := p.InSize(), p.OutSize()
 	oh, ow := p.H/p.K, p.W/p.K
-	oi := 0
-	for c := 0; c < p.C; c++ {
-		base := c * p.H * p.W
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				bestIdx := base + (oy*p.K)*p.W + ox*p.K
-				best := in[bestIdx]
-				for ky := 0; ky < p.K; ky++ {
-					rowBase := base + (oy*p.K+ky)*p.W + ox*p.K
-					for kx := 0; kx < p.K; kx++ {
-						if v := in[rowBase+kx]; v > best {
-							best, bestIdx = v, rowBase+kx
+	for s := lo; s < hi; s++ {
+		in := pc.x[s*inN : (s+1)*inN]
+		out := pc.y[s*outN : (s+1)*outN]
+		argmax := pc.argmax[s*outN : (s+1)*outN]
+		oi := 0
+		for c := 0; c < p.C; c++ {
+			base := c * p.H * p.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := base + (oy*p.K)*p.W + ox*p.K
+					best := in[bestIdx]
+					for ky := 0; ky < p.K; ky++ {
+						rowBase := base + (oy*p.K+ky)*p.W + ox*p.K
+						for kx := 0; kx < p.K; kx++ {
+							if v := in[rowBase+kx]; v > best {
+								best, bestIdx = v, rowBase+kx
+							}
 						}
 					}
+					out[oi] = best
+					argmax[oi] = bestIdx
+					oi++
 				}
-				out[oi] = best
-				pc.argmax[oi] = bestIdx
-				oi++
 			}
 		}
 	}
 }
 
-// Backward implements Layer: route each output gradient to its argmax input.
-func (p *MaxPool2D) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+func (pc *poolCache) backwardSamples(lo, hi int) {
+	p := pc.layer
+	inN, outN := p.InSize(), p.OutSize()
+	for s := lo; s < hi; s++ {
+		dIn := pc.dX[s*inN : (s+1)*inN]
+		dOut := pc.dY[s*outN : (s+1)*outN]
+		argmax := pc.argmax[s*outN : (s+1)*outN]
+		for i := range dIn {
+			dIn[i] = 0
+		}
+		for oi, ii := range argmax {
+			dIn[ii] += dOut[oi]
+		}
+	}
+}
+
+// Forward implements Layer, fanned out over samples.
+func (p *MaxPool2D) Forward(params, x, y []float64, b int, cache Cache) {
 	pc := cache.(*poolCache)
-	for i := range dIn {
-		dIn[i] = 0
+	pc.x, pc.y, pc.b = x, y, b
+	pc.par.Run(b, 1, b*p.InSize(), pc.fwdBody)
+}
+
+// Backward implements Layer: route each output gradient to its argmax input.
+func (p *MaxPool2D) Backward(params, dY, dX, dParams []float64, b int, cache Cache) {
+	pc := cache.(*poolCache)
+	if b != pc.b {
+		panic("nn: MaxPool2D Backward batch differs from last Forward")
 	}
-	for oi, ii := range pc.argmax {
-		dIn[ii] += dOut[oi]
-	}
+	pc.dY, pc.dX = dY, dX
+	pc.par.Run(b, 1, b*p.InSize(), pc.bwdBody)
 }

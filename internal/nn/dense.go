@@ -6,8 +6,9 @@ import (
 	"fedproxvr/internal/tensor"
 )
 
-// Dense is a fully-connected layer: out = W·in + b, with W stored row-major
-// (Out×In) followed by b (Out) in the layer's parameter view.
+// Dense is a fully-connected layer: Y = X·Wᵀ + 1·bᵀ, with W stored
+// row-major (Out×In) followed by b (Out) in the layer's parameter view.
+// The whole batch is one blocked GEMM per direction.
 type Dense struct {
 	In, Out int
 }
@@ -30,43 +31,46 @@ func (d *Dense) OutSize() int { return d.Out }
 func (d *Dense) NumParams() int { return d.Out*d.In + d.Out }
 
 type denseCache struct {
-	in []float64 // copy of the forward input
+	x   []float64 // copy of the forward input, maxBatch×In
+	b   int       // batch size of the last Forward
+	par *tensor.Par
 }
 
 // NewCache implements Layer.
-func (d *Dense) NewCache() Cache { return &denseCache{in: make([]float64, d.In)} }
-
-// Forward implements Layer.
-func (d *Dense) Forward(params, in, out []float64, cache Cache) {
-	c := cache.(*denseCache)
-	copy(c.in, in)
-	w := tensor.WrapMatrix(d.Out, d.In, params[:d.Out*d.In])
-	b := params[d.Out*d.In:]
-	tensor.MatVec(out, w, in)
-	for i := range out {
-		out[i] += b[i]
-	}
+func (d *Dense) NewCache(maxBatch int) Cache {
+	return &denseCache{x: make([]float64, maxBatch*d.In), par: tensor.NewPar()}
 }
 
-// Backward implements Layer. dW_ij += dOut_i * in_j; db_i += dOut_i;
-// dIn = Wᵀ·dOut.
-func (d *Dense) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+// Forward implements Layer: Y = X·Wᵀ, rows biased by b.
+func (d *Dense) Forward(params, x, y []float64, b int, cache Cache) {
 	c := cache.(*denseCache)
-	w := tensor.WrapMatrix(d.Out, d.In, params[:d.Out*d.In])
-	dw := dParams[:d.Out*d.In]
-	db := dParams[d.Out*d.In:]
-	for i := 0; i < d.Out; i++ {
-		g := dOut[i]
-		db[i] += g
-		if g == 0 {
-			continue
-		}
-		row := dw[i*d.In : (i+1)*d.In]
-		for j, x := range c.in {
-			row[j] += g * x
-		}
+	copy(c.x[:b*d.In], x)
+	c.b = b
+	w := tensor.MatOf(d.Out, d.In, params[:d.Out*d.In])
+	bias := params[d.Out*d.In:]
+	ym := tensor.MatOf(b, d.Out, y)
+	c.par.GemmNT(1, tensor.MatOf(b, d.In, c.x[:b*d.In]), w, 0, ym)
+	tensor.AddRowVec(ym, bias)
+}
+
+// Backward implements Layer:
+//
+//	dW += dYᵀ·X,   db += Σ_rows dY,   dX = dY·W.
+//
+// All three reduce over the batch in ascending sample order.
+func (d *Dense) Backward(params, dY, dX, dParams []float64, b int, cache Cache) {
+	c := cache.(*denseCache)
+	if b != c.b {
+		panic("nn: Dense Backward batch differs from last Forward")
 	}
-	tensor.MatTVec(dIn, w, dOut)
+	w := tensor.MatOf(d.Out, d.In, params[:d.Out*d.In])
+	dw := tensor.MatOf(d.Out, d.In, dParams[:d.Out*d.In])
+	db := dParams[d.Out*d.In:]
+	dym := tensor.MatOf(b, d.Out, dY)
+	xm := tensor.MatOf(b, d.In, c.x[:b*d.In])
+	c.par.GemmTN(1, dym, xm, 1, dw)
+	tensor.ColSumsAcc(db, dym)
+	c.par.GemmNN(1, dym, w, 0, tensor.MatOf(b, d.In, dX))
 }
 
 // Init implements Initializer: Glorot-uniform W, zero b.

@@ -7,10 +7,19 @@
 // parameter vectors per step — and what federated aggregation needs —
 // averaging raw vectors.
 //
-// Backward accumulates (+=) into the caller's gradient vector so mini-batch
-// gradients can be summed without temporaries. Per-call scratch lives in a
-// Workspace, so a single Network can be shared read-only by many goroutines,
-// each holding its own Workspace.
+// The layer contract is batch-first: activations are row-major batch×size
+// matrices (each row one sample), so a whole mini-batch flows through the
+// network as blocked matrix-matrix kernels (package tensor) instead of a
+// per-sample loop. A batch of one recovers the per-sample path — the
+// Forward/Backward convenience wrappers — which prediction and reference
+// tests use.
+//
+// Backward accumulates (+=) into the caller's gradient vector, reducing
+// over the batch in ascending sample order (and over GEMM reduction indices
+// in ascending order), so gradients are bit-reproducible run-to-run and
+// independent of GOMAXPROCS. Per-call scratch lives in a Workspace, so a
+// single Network can be shared read-only by many goroutines, each holding
+// its own Workspace.
 package nn
 
 import (
@@ -22,21 +31,26 @@ import (
 // Layer is one differentiable stage. Implementations are stateless with
 // respect to parameters and activations: everything flows through the
 // arguments, and per-call scratch lives in the cache created by NewCache.
+//
+// Activations are batch-major: x holds b rows of InSize() features, y holds
+// b rows of OutSize(), both row-major and flat.
 type Layer interface {
-	// InSize and OutSize are the flat activation sizes.
+	// InSize and OutSize are the flat per-sample activation sizes.
 	InSize() int
 	OutSize() int
 	// NumParams is the number of parameters the layer reads from its view.
 	NumParams() int
 	// NewCache allocates the scratch this layer needs for one
-	// forward/backward pair.
-	NewCache() Cache
-	// Forward computes out from in using params (len NumParams).
-	Forward(params, in, out []float64, cache Cache)
-	// Backward consumes dOut, writes dIn (overwrite) and accumulates the
-	// parameter gradient into dParams (+=). It must be called after Forward
-	// with the same cache and params.
-	Backward(params, dOut, dIn, dParams []float64, cache Cache)
+	// forward/backward pair over batches of at most maxBatch samples.
+	NewCache(maxBatch int) Cache
+	// Forward computes y (b×OutSize) from x (b×InSize) using params
+	// (len NumParams).
+	Forward(params, x, y []float64, b int, cache Cache)
+	// Backward consumes dY (b×OutSize), writes dX (b×InSize, overwrite) and
+	// accumulates the parameter gradient into dParams (+=), summed over the
+	// batch in ascending sample order. It must be called after Forward with
+	// the same cache, params and b.
+	Backward(params, dY, dX, dParams []float64, b int, cache Cache)
 }
 
 // Cache is opaque per-layer scratch. Each layer type asserts its own.
@@ -90,65 +104,98 @@ func (n *Network) ParamView(params []float64, i int) []float64 {
 	return params[n.offsets[i] : n.offsets[i]+n.layers[i].NumParams()]
 }
 
-// Workspace holds all per-call scratch for one goroutine's use of a Network:
-// activation buffers between layers and each layer's cache.
+// Workspace holds all per-call scratch for one goroutine's use of a
+// Network: batched activation buffers between layers and each layer's
+// cache, sized for batches of at most maxBatch samples.
 type Workspace struct {
-	acts   [][]float64 // acts[0] is input copy target; acts[i+1] output of layer i
-	dacts  [][]float64 // gradient buffers of same shapes
-	caches []Cache
+	maxBatch int
+	acts     [][]float64 // acts[i+1]: output of layer i, maxBatch×OutSize
+	dacts    [][]float64 // gradient buffers of the same shapes
+	caches   []Cache
 }
 
-// NewWorkspace allocates scratch sized for this network.
-func (n *Network) NewWorkspace() *Workspace {
-	ws := &Workspace{
-		acts:   make([][]float64, len(n.layers)+1),
-		dacts:  make([][]float64, len(n.layers)+1),
-		caches: make([]Cache, len(n.layers)),
+// NewWorkspaceBatch allocates scratch sized for batches of up to maxBatch
+// samples.
+func (n *Network) NewWorkspaceBatch(maxBatch int) *Workspace {
+	if maxBatch < 1 {
+		panic("nn: workspace batch must be at least 1")
 	}
-	ws.acts[0] = make([]float64, n.layers[0].InSize())
-	ws.dacts[0] = make([]float64, n.layers[0].InSize())
+	ws := &Workspace{
+		maxBatch: maxBatch,
+		acts:     make([][]float64, len(n.layers)+1),
+		dacts:    make([][]float64, len(n.layers)+1),
+		caches:   make([]Cache, len(n.layers)),
+	}
+	ws.acts[0] = make([]float64, maxBatch*n.layers[0].InSize())
+	ws.dacts[0] = make([]float64, maxBatch*n.layers[0].InSize())
 	for i, l := range n.layers {
-		ws.acts[i+1] = make([]float64, l.OutSize())
-		ws.dacts[i+1] = make([]float64, l.OutSize())
-		ws.caches[i] = l.NewCache()
+		ws.acts[i+1] = make([]float64, maxBatch*l.OutSize())
+		ws.dacts[i+1] = make([]float64, maxBatch*l.OutSize())
+		ws.caches[i] = l.NewCache(maxBatch)
 	}
 	return ws
 }
 
-// Forward runs the network on input x at parameters params and returns a
-// slice aliasing the workspace's output activations (valid until the next
-// Forward on the same workspace).
-func (n *Network) Forward(params, x []float64, ws *Workspace) []float64 {
+// NewWorkspace allocates per-sample scratch (batch capacity 1).
+func (n *Network) NewWorkspace() *Workspace { return n.NewWorkspaceBatch(1) }
+
+// MaxBatch returns the workspace's batch capacity.
+func (ws *Workspace) MaxBatch() int { return ws.maxBatch }
+
+// ForwardBatch runs the network on a batch x (b rows of InSize features,
+// row-major flat, which may alias caller storage — e.g. a zero-copy view of
+// a dataset) and returns a slice aliasing the workspace's b×OutSize output
+// activations (valid until the next forward on the same workspace).
+func (n *Network) ForwardBatch(params, x []float64, b int, ws *Workspace) []float64 {
 	if len(params) != n.total {
 		panic(fmt.Sprintf("nn: params len %d, want %d", len(params), n.total))
 	}
-	if len(x) != n.InSize() {
-		panic(fmt.Sprintf("nn: input len %d, want %d", len(x), n.InSize()))
+	if b < 1 || b > ws.maxBatch {
+		panic(fmt.Sprintf("nn: batch %d outside workspace capacity %d", b, ws.maxBatch))
 	}
-	copy(ws.acts[0], x)
+	if len(x) != b*n.InSize() {
+		panic(fmt.Sprintf("nn: input len %d, want %d×%d", len(x), b, n.InSize()))
+	}
+	in := x
 	for i, l := range n.layers {
-		l.Forward(n.ParamView(params, i), ws.acts[i], ws.acts[i+1], ws.caches[i])
+		out := ws.acts[i+1][:b*l.OutSize()]
+		l.Forward(n.ParamView(params, i), in, out, b, ws.caches[i])
+		in = out
 	}
-	return ws.acts[len(n.layers)]
+	return in
 }
 
-// Backward propagates dOut (gradient w.r.t. the network output of the last
-// Forward on ws) and accumulates the parameter gradient into grad (+=).
-// grad must have length NumParams.
-func (n *Network) Backward(params, dOut []float64, ws *Workspace, grad []float64) {
+// BackwardBatch propagates dOut (b×OutSize gradient w.r.t. the output of
+// the last ForwardBatch on ws) and accumulates the parameter gradient into
+// grad (+=), summed over the batch. grad must have length NumParams.
+func (n *Network) BackwardBatch(params, dOut []float64, b int, ws *Workspace, grad []float64) {
 	if len(grad) != n.total {
 		panic(fmt.Sprintf("nn: grad len %d, want %d", len(grad), n.total))
 	}
+	if b < 1 || b > ws.maxBatch {
+		panic(fmt.Sprintf("nn: batch %d outside workspace capacity %d", b, ws.maxBatch))
+	}
 	last := len(n.layers)
-	if len(dOut) != n.OutSize() {
+	if len(dOut) != b*n.OutSize() {
 		panic("nn: dOut size mismatch")
 	}
-	copy(ws.dacts[last], dOut)
+	copy(ws.dacts[last][:b*n.OutSize()], dOut)
 	for i := last - 1; i >= 0; i-- {
 		l := n.layers[i]
-		l.Backward(n.ParamView(params, i), ws.dacts[i+1], ws.dacts[i],
-			grad[n.offsets[i]:n.offsets[i]+l.NumParams()], ws.caches[i])
+		l.Backward(n.ParamView(params, i),
+			ws.dacts[i+1][:b*l.OutSize()], ws.dacts[i][:b*l.InSize()],
+			grad[n.offsets[i]:n.offsets[i]+l.NumParams()], b, ws.caches[i])
 	}
+}
+
+// Forward is the per-sample convenience wrapper: a batch of one.
+func (n *Network) Forward(params, x []float64, ws *Workspace) []float64 {
+	return n.ForwardBatch(params, x, 1, ws)
+}
+
+// Backward is the per-sample convenience wrapper: a batch of one.
+func (n *Network) Backward(params, dOut []float64, ws *Workspace, grad []float64) {
+	n.BackwardBatch(params, dOut, 1, ws, grad)
 }
 
 // InitParams fills params with a standard layer-aware initialization:

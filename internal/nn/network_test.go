@@ -159,8 +159,8 @@ func TestMaxPoolForwardValues(t *testing.T) {
 		0, 7, 6, 0,
 	}
 	out := make([]float64, 4)
-	cache := p.NewCache()
-	p.Forward(nil, in, out, cache)
+	cache := p.NewCache(1)
+	p.Forward(nil, in, out, 1, cache)
 	want := []float64{4, 5, 7, 9}
 	for i := range want {
 		if out[i] != want[i] {
@@ -169,7 +169,7 @@ func TestMaxPoolForwardValues(t *testing.T) {
 	}
 	// Routing check: gradient flows only to the max positions.
 	dIn := make([]float64, 16)
-	p.Backward(nil, []float64{1, 1, 1, 1}, dIn, nil, cache)
+	p.Backward(nil, []float64{1, 1, 1, 1}, dIn, nil, 1, cache)
 	if dIn[5] != 1 || dIn[7] != 1 || dIn[13] != 1 || dIn[10] != 1 {
 		t.Fatalf("pool routing wrong: %v", dIn)
 	}

@@ -12,7 +12,9 @@ import (
 // turn the layer into an identity for evaluation.
 //
 // The mask stream is owned by the layer's cache, seeded from Seed, so
-// concurrent workspaces draw independent, reproducible masks.
+// concurrent workspaces draw independent, reproducible masks. Batched
+// forwards draw the mask row by row in sample order — the stream consumed
+// by a batch of b equals b consecutive per-sample draws.
 type Dropout struct {
 	Size int
 	Rate float64
@@ -48,51 +50,53 @@ func (d *Dropout) OutSize() int { return d.Size }
 func (d *Dropout) NumParams() int { return 0 }
 
 type dropoutCache struct {
-	keep []bool
+	keep []bool // maxBatch×Size
 	rng  *rand.Rand
 }
 
 // NewCache implements Layer.
-func (d *Dropout) NewCache() Cache {
-	return &dropoutCache{keep: make([]bool, d.Size), rng: randx.New(d.Seed)}
+func (d *Dropout) NewCache(maxBatch int) Cache {
+	return &dropoutCache{keep: make([]bool, maxBatch*d.Size), rng: randx.New(d.Seed)}
 }
 
-// Forward implements Layer.
-func (d *Dropout) Forward(params, in, out []float64, cache Cache) {
+// Forward implements Layer. Mask draws are sequential over the flat
+// b×Size batch, preserving the per-sample RNG stream.
+func (d *Dropout) Forward(params, x, y []float64, b int, cache Cache) {
 	c := cache.(*dropoutCache)
+	keep := c.keep[:b*d.Size]
 	if !d.training || d.Rate == 0 {
-		copy(out, in)
-		for i := range c.keep {
-			c.keep[i] = true
+		copy(y, x)
+		for i := range keep {
+			keep[i] = true
 		}
 		return
 	}
 	scale := 1 / (1 - d.Rate)
-	for i, v := range in {
+	for i, v := range x {
 		if c.rng.Float64() < d.Rate {
-			c.keep[i] = false
-			out[i] = 0
+			keep[i] = false
+			y[i] = 0
 		} else {
-			c.keep[i] = true
-			out[i] = v * scale
+			keep[i] = true
+			y[i] = v * scale
 		}
 	}
 }
 
 // Backward implements Layer: gradients flow only through kept units, with
 // the same 1/(1−Rate) scale.
-func (d *Dropout) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+func (d *Dropout) Backward(params, dY, dX, dParams []float64, b int, cache Cache) {
 	c := cache.(*dropoutCache)
 	if !d.training || d.Rate == 0 {
-		copy(dIn, dOut)
+		copy(dX, dY)
 		return
 	}
 	scale := 1 / (1 - d.Rate)
-	for i, keep := range c.keep {
+	for i, keep := range c.keep[:b*d.Size] {
 		if keep {
-			dIn[i] = dOut[i] * scale
+			dX[i] = dY[i] * scale
 		} else {
-			dIn[i] = 0
+			dX[i] = 0
 		}
 	}
 }
@@ -123,49 +127,59 @@ func (p *AvgPool2D) OutSize() int { return p.C * (p.H / p.K) * (p.W / p.K) }
 func (p *AvgPool2D) NumParams() int { return 0 }
 
 // NewCache implements Layer (no scratch needed).
-func (p *AvgPool2D) NewCache() Cache { return nil }
+func (p *AvgPool2D) NewCache(maxBatch int) Cache { return nil }
 
-// Forward implements Layer.
-func (p *AvgPool2D) Forward(params, in, out []float64, cache Cache) {
+// Forward implements Layer, looping samples in ascending order.
+func (p *AvgPool2D) Forward(params, x, y []float64, b int, cache Cache) {
+	inN, outN := p.InSize(), p.OutSize()
 	oh, ow := p.H/p.K, p.W/p.K
 	inv := 1 / float64(p.K*p.K)
-	oi := 0
-	for c := 0; c < p.C; c++ {
-		base := c * p.H * p.W
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				var sum float64
-				for ky := 0; ky < p.K; ky++ {
-					rowBase := base + (oy*p.K+ky)*p.W + ox*p.K
-					for kx := 0; kx < p.K; kx++ {
-						sum += in[rowBase+kx]
+	for s := 0; s < b; s++ {
+		in := x[s*inN : (s+1)*inN]
+		out := y[s*outN : (s+1)*outN]
+		oi := 0
+		for c := 0; c < p.C; c++ {
+			base := c * p.H * p.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float64
+					for ky := 0; ky < p.K; ky++ {
+						rowBase := base + (oy*p.K+ky)*p.W + ox*p.K
+						for kx := 0; kx < p.K; kx++ {
+							sum += in[rowBase+kx]
+						}
 					}
+					out[oi] = sum * inv
+					oi++
 				}
-				out[oi] = sum * inv
-				oi++
 			}
 		}
 	}
 }
 
 // Backward implements Layer: each input receives dOut/(K²) of its window.
-func (p *AvgPool2D) Backward(params, dOut, dIn, dParams []float64, cache Cache) {
+func (p *AvgPool2D) Backward(params, dY, dX, dParams []float64, b int, cache Cache) {
+	inN, outN := p.InSize(), p.OutSize()
 	oh, ow := p.H/p.K, p.W/p.K
 	inv := 1 / float64(p.K*p.K)
-	oi := 0
-	for i := range dIn {
-		dIn[i] = 0
+	for i := range dX[:b*inN] {
+		dX[i] = 0
 	}
-	for c := 0; c < p.C; c++ {
-		base := c * p.H * p.W
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				g := dOut[oi] * inv
-				oi++
-				for ky := 0; ky < p.K; ky++ {
-					rowBase := base + (oy*p.K+ky)*p.W + ox*p.K
-					for kx := 0; kx < p.K; kx++ {
-						dIn[rowBase+kx] += g
+	for s := 0; s < b; s++ {
+		dIn := dX[s*inN : (s+1)*inN]
+		dOut := dY[s*outN : (s+1)*outN]
+		oi := 0
+		for c := 0; c < p.C; c++ {
+			base := c * p.H * p.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dOut[oi] * inv
+					oi++
+					for ky := 0; ky < p.K; ky++ {
+						rowBase := base + (oy*p.K+ky)*p.W + ox*p.K
+						for kx := 0; kx < p.K; kx++ {
+							dIn[rowBase+kx] += g
+						}
 					}
 				}
 			}

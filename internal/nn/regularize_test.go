@@ -10,15 +10,15 @@ func TestDropoutEvalIsIdentity(t *testing.T) {
 	d.SetTraining(false)
 	in := []float64{1, -2, 3, -4}
 	out := make([]float64, 4)
-	cache := d.NewCache()
-	d.Forward(nil, in, out, cache)
+	cache := d.NewCache(1)
+	d.Forward(nil, in, out, 1, cache)
 	for i := range in {
 		if out[i] != in[i] {
 			t.Fatal("eval-mode dropout must be identity")
 		}
 	}
 	dIn := make([]float64, 4)
-	d.Backward(nil, []float64{1, 1, 1, 1}, dIn, nil, cache)
+	d.Backward(nil, []float64{1, 1, 1, 1}, dIn, nil, 1, cache)
 	for _, v := range dIn {
 		if v != 1 {
 			t.Fatal("eval-mode backward must pass gradients through")
@@ -37,8 +37,8 @@ func TestDropoutTrainingMaskAndScale(t *testing.T) {
 		in[i] = 1
 	}
 	out := make([]float64, n)
-	cache := d.NewCache()
-	d.Forward(nil, in, out, cache)
+	cache := d.NewCache(1)
+	d.Forward(nil, in, out, 1, cache)
 	zeros, expected := 0, 1/(1-0.3)
 	for _, v := range out {
 		switch {
@@ -67,7 +67,7 @@ func TestDropoutTrainingMaskAndScale(t *testing.T) {
 		dOut[i] = 1
 	}
 	dIn := make([]float64, n)
-	d.Backward(nil, dOut, dIn, nil, cache)
+	d.Backward(nil, dOut, dIn, nil, 1, cache)
 	for i := range dIn {
 		if (out[i] == 0) != (dIn[i] == 0) {
 			t.Fatal("backward mask differs from forward mask")
@@ -101,7 +101,7 @@ func TestAvgPoolForwardValues(t *testing.T) {
 		8, 8, 2, 2,
 	}
 	out := make([]float64, 4)
-	p.Forward(nil, in, out, nil)
+	p.Forward(nil, in, out, 1, nil)
 	want := []float64{2.5, 1, 8, 2}
 	for i := range want {
 		if out[i] != want[i] {

@@ -1,0 +1,334 @@
+package tensor
+
+import "fmt"
+
+// Mat is a dense row-major matrix view held by value, the currency of the
+// blocked kernels below. Unlike *Matrix it never owns its backing array and
+// never escapes to the heap when passed into a kernel, which is what keeps
+// the batched forward/backward hot path allocation-free.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// MatOf builds a Mat view over data. len(data) must be rows*cols.
+func MatOf(rows, cols int, data []float64) Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: MatOf %dx%d over %d elements", rows, cols, len(data)))
+	}
+	return Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns a slice aliasing row i.
+func (m Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// V converts the pointer-based Matrix to a Mat view sharing the same data.
+func (m *Matrix) V() Mat { return Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data} }
+
+// The blocked kernels fix two orders once and for all, so every result is
+// bit-reproducible run-to-run and independent of GOMAXPROCS:
+//
+//   - Block order: parallel partitions always cut the OUTPUT rows into
+//     fixed-size blocks (gemmRowGrain rows, or one sample for per-sample
+//     fan-out). Each output element is written by exactly one block, so how
+//     blocks map to goroutines cannot change any value.
+//   - Reduction order: within a block, every element accumulates its terms
+//     in ascending reduction index (k for GEMM, sample index for batched
+//     parameter gradients). No per-worker partial sums are ever combined.
+//
+// The *Rows variants compute only output rows [lo, hi) and exist so callers
+// can compose their own deterministic reductions (e.g. conv weight
+// gradients accumulated sample-by-sample inside a row block).
+
+// GemmNN computes C = alpha*A*B + beta*C serially. A is (M×K), B is (K×N),
+// C is (M×N). C must not alias A or B.
+func GemmNN(alpha float64, a, b Mat, beta float64, c Mat) {
+	checkNN(a, b, c)
+	GemmNNRows(alpha, a, b, beta, c, 0, c.Rows)
+}
+
+// GemmNNRows is GemmNN restricted to output rows [lo, hi). beta is applied
+// to those rows only.
+//
+// Output rows are processed four at a time so each streamed row of B is
+// reused fourfold while hot in cache; every element still reduces over k in
+// ascending order, so results are bit-identical to the one-row-at-a-time
+// loop.
+func GemmNNRows(alpha float64, a, b Mat, beta float64, c Mat, lo, hi int) {
+	n := b.Cols
+	scaleRows(beta, c, lo, hi)
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		for k := 0; k < a.Cols; k++ { // k ascending: fixed reduction order
+			brow := b.Data[k*n : (k+1)*n]
+			if av := a0[k]; av != 0 {
+				axpyRow(alpha*av, brow, c0)
+			}
+			if av := a1[k]; av != 0 {
+				axpyRow(alpha*av, brow, c1)
+			}
+			if av := a2[k]; av != 0 {
+				axpyRow(alpha*av, brow, c2)
+			}
+			if av := a3[k]; av != 0 {
+				axpyRow(alpha*av, brow, c3)
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		crow := c.Row(i)
+		arow := a.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpyRow(alpha*av, b.Data[k*n:(k+1)*n], crow)
+		}
+	}
+}
+
+// scaleRows applies beta to rows [lo, hi) of c ahead of accumulation.
+func scaleRows(beta float64, c Mat, lo, hi int) {
+	if beta == 1 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		crow := c.Row(i)
+		if beta == 0 {
+			for j := range crow {
+				crow[j] = 0
+			}
+		} else {
+			for j := range crow {
+				crow[j] *= beta
+			}
+		}
+	}
+}
+
+// GemmNT computes C = alpha*A*Bᵀ + beta*C serially. A is (M×K), B is (N×K),
+// C is (M×N). C must not alias A or B.
+func GemmNT(alpha float64, a, b Mat, beta float64, c Mat) {
+	checkNT(a, b, c)
+	GemmNTRows(alpha, a, b, beta, c, 0, c.Rows)
+}
+
+// GemmNTRows is GemmNT restricted to output rows [lo, hi).
+//
+// Output rows are processed four at a time so each streamed row of B feeds
+// four dot products while hot in cache. Every dot product is the same
+// fixed-order dot4, so results are bit-identical to the one-row loop.
+func GemmNTRows(alpha float64, a, b Mat, beta float64, c Mat, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s0 := alpha * dot4(a0, brow)
+			s1 := alpha * dot4(a1, brow)
+			s2 := alpha * dot4(a2, brow)
+			s3 := alpha * dot4(a3, brow)
+			if beta == 0 {
+				c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+			} else if beta == 1 {
+				c0[j] += s0
+				c1[j] += s1
+				c2[j] += s2
+				c3[j] += s3
+			} else {
+				c0[j] = beta*c0[j] + s0
+				c1[j] = beta*c1[j] + s1
+				c2[j] = beta*c2[j] + s2
+				c3[j] = beta*c3[j] + s3
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			s := alpha * dot4(arow, b.Row(j))
+			if beta == 0 {
+				crow[j] = s
+			} else if beta == 1 {
+				crow[j] += s
+			} else {
+				crow[j] = beta*crow[j] + s
+			}
+		}
+	}
+}
+
+// GemmTN computes C = alpha*Aᵀ*B + beta*C serially. A is (K×M), B is (K×N),
+// C is (M×N); the reduction runs over the rows of A and B in ascending
+// order. C must not alias A or B.
+func GemmTN(alpha float64, a, b Mat, beta float64, c Mat) {
+	checkTN(a, b, c)
+	GemmTNRows(alpha, a, b, beta, c, 0, c.Rows)
+}
+
+// GemmTNRows is GemmTN restricted to output rows [lo, hi).
+//
+// Output rows are processed four at a time: the k-loop streams B once per
+// four rows of C instead of once per row, and every element still
+// accumulates its k-terms in ascending order — bit-identical to the
+// one-row-at-a-time loop.
+func GemmTNRows(alpha float64, a, b Mat, beta float64, c Mat, lo, hi int) {
+	scaleRows(beta, c, lo, hi)
+	m := a.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		for k := 0; k < a.Rows; k++ { // k ascending: fixed reduction order
+			arow := a.Data[k*m : (k+1)*m]
+			brow := b.Row(k)
+			if av := arow[i]; av != 0 {
+				axpyRow(alpha*av, brow, c0)
+			}
+			if av := arow[i+1]; av != 0 {
+				axpyRow(alpha*av, brow, c1)
+			}
+			if av := arow[i+2]; av != 0 {
+				axpyRow(alpha*av, brow, c2)
+			}
+			if av := arow[i+3]; av != 0 {
+				axpyRow(alpha*av, brow, c3)
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		crow := c.Row(i)
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*m+i]
+			if av == 0 {
+				continue
+			}
+			axpyRow(alpha*av, b.Row(k), crow)
+		}
+	}
+}
+
+// MulVec computes dst = M·x serially. dst must not alias x.
+func (m Mat) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = dot4(m.Row(i), x)
+	}
+}
+
+// MulVecT computes dst = Mᵀ·x serially, reducing over rows in ascending
+// order. dst must not alias x.
+func (m Mat) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("tensor: MulVecT dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// AddRowVec adds v to every row of c (the batched bias broadcast).
+func AddRowVec(c Mat, v []float64) {
+	if len(v) != c.Cols {
+		panic("tensor: AddRowVec dimension mismatch")
+	}
+	for i := 0; i < c.Rows; i++ {
+		row := c.Row(i)
+		for j, bv := range v {
+			row[j] += bv
+		}
+	}
+}
+
+// ColSumsAcc accumulates the column sums of m into dst (+=), rows in
+// ascending order (the batched bias gradient).
+func ColSumsAcc(dst []float64, m Mat) {
+	if len(dst) != m.Cols {
+		panic("tensor: ColSumsAcc dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// dot4 is an inner product with four independent accumulators combined in a
+// fixed order; the unroll breaks the add dependency chain without
+// sacrificing reproducibility.
+func dot4(x, y []float64) float64 {
+	if simdEnabled {
+		return dotSIMD(x, y)
+	}
+	y = y[:len(x)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
+// axpyRow computes y += s*x with 4-way unrolling. The term order within
+// each element is fixed (one product per index), so results are exact-sum
+// identical to the rolled loop.
+func axpyRow(s float64, x, y []float64) {
+	if simdEnabled {
+		axpySIMD(s, x, y)
+		return
+	}
+	y = y[:len(x)] // bounds-check elimination hint
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		y[i] += s * x[i]
+		y[i+1] += s * x[i+1]
+		y[i+2] += s * x[i+2]
+		y[i+3] += s * x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		y[i] += s * x[i]
+	}
+}
+
+func checkNN(a, b, c Mat) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GemmNN dims A %dx%d B %dx%d C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+}
+
+func checkNT(a, b, c Mat) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: GemmNT dims A %dx%d B %dx%d C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+}
+
+func checkTN(a, b, c Mat) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GemmTN dims A %dx%d B %dx%d C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+}

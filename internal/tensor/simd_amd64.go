@@ -1,0 +1,20 @@
+//go:build amd64
+
+package tensor
+
+// simdEnabled reports whether the AVX2+FMA kernels are usable on this CPU.
+// Checked once at init; the scalar kernels remain the reference semantics
+// on machines without AVX2.
+var simdEnabled = x86HasAVX2FMA()
+
+// x86HasAVX2FMA reports CPU and OS support for AVX2 and FMA3
+// (CPUID feature bits plus XCR0 state enablement). Implemented in assembly.
+func x86HasAVX2FMA() bool
+
+// dotSIMD computes Σ x[i]*y[i] with 4×4-wide FMA accumulators and a fixed
+// combine order. len(y) must be ≥ len(x). Implemented in assembly.
+func dotSIMD(x, y []float64) float64
+
+// axpySIMD computes y[i] += s*x[i] with 2×4-wide FMA. len(y) must be
+// ≥ len(x). Implemented in assembly.
+func axpySIMD(s float64, x, y []float64)

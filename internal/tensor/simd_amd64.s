@@ -1,0 +1,137 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func x86HasAVX2FMA() bool
+//
+// CPUID.1:ECX must report OSXSAVE (27), AVX (28) and FMA (12); XCR0 must
+// have SSE and AVX state enabled (bits 1 and 2); CPUID.7.0:EBX must report
+// AVX2 (bit 5).
+TEXT ·x86HasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18001000, R8      // OSXSAVE | AVX | FMA
+	CMPL R8, $0x18001000
+	JNE  no
+
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX               // XCR0: SSE | AVX state
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX            // AVX2
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotSIMD(x, y []float64) float64
+//
+// Four 4-wide FMA accumulators over 16 elements per iteration, combined in
+// the fixed order ((acc0+acc1)+(acc2+acc3)) then low-to-high within the
+// vector, then the scalar tail in ascending index order. The order is fixed
+// per length, so results are bit-reproducible.
+TEXT ·dotSIMD(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	MOVQ CX, DX
+	SHRQ $4, DX               // DX = len/16
+	JZ   combine
+
+loop16:
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VMOVUPD 64(SI), Y6
+	VMOVUPD 96(SI), Y7
+	VFMADD231PD (DI), Y4, Y0
+	VFMADD231PD 32(DI), Y5, Y1
+	VFMADD231PD 64(DI), Y6, Y2
+	VFMADD231PD 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  loop16
+
+combine:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0        // X0[0] = X0[0] + X0[1]
+
+	ANDQ $15, CX              // tail length
+	JZ   done
+
+tail:
+	VMOVSD (SI), X2
+	VFMADD231SD (DI), X2, X0
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  tail
+
+done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func axpySIMD(s float64, x, y []float64)
+//
+// y += s*x, two 4-wide FMAs per iteration plus a scalar tail. One fused
+// multiply-add per element in ascending index order.
+TEXT ·axpySIMD(SB), NOSPLIT, $0-56
+	VBROADCASTSD s+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ x_len+16(FP), CX
+	MOVQ y_base+32(FP), DI
+
+	MOVQ CX, DX
+	SHRQ $3, DX               // DX = len/8
+	JZ   tailsetup
+
+loop8:
+	VMOVUPD (DI), Y1
+	VMOVUPD 32(DI), Y2
+	VFMADD231PD (SI), Y0, Y1
+	VFMADD231PD 32(SI), Y0, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  loop8
+
+tailsetup:
+	ANDQ $7, CX
+	JZ   done2
+
+tail2:
+	VMOVSD (DI), X1
+	VMOVSD (SI), X2
+	VFMADD231SD X2, X0, X1    // X1 += X0.low * X2
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  tail2
+
+done2:
+	VZEROUPPER
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// simdEnabled is false off amd64; the scalar kernels are used everywhere.
+const simdEnabled = false
+
+func dotSIMD(x, y []float64) float64 { panic("tensor: SIMD kernel unavailable") }
+
+func axpySIMD(s float64, x, y []float64) { panic("tensor: SIMD kernel unavailable") }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -161,5 +162,97 @@ func TestTopKOptimalityQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// topKSortRef is the original full-sort selection, kept as the reference
+// for the quickselect equivalence test: same order (|w| descending, index
+// ascending on ties), same output layout.
+func topKSortRef(w []float64, k int) *SparseVec {
+	if k > len(w) {
+		k = len(w)
+	}
+	idx := make([]int, len(w))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := abs(w[idx[a]]), abs(w[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	kept := idx[:k]
+	sort.Ints(kept)
+	sv := &SparseVec{Dim: len(w), Indices: make([]int32, k), Values: make([]float64, k)}
+	for i, j := range kept {
+		sv.Indices[i] = int32(j)
+		sv.Values[i] = w[j]
+	}
+	return sv
+}
+
+func TestTopKQuickselectMatchesSort(t *testing.T) {
+	rng := randx.New(77)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		w := make([]float64, n)
+		for i := range w {
+			switch rng.Intn(4) {
+			case 0:
+				w[i] = 0 // force magnitude ties
+			case 1:
+				w[i] = float64(rng.Intn(3)) // more ties, mixed signs below
+			default:
+				w[i] = rng.NormFloat64()
+			}
+			if rng.Intn(2) == 0 {
+				w[i] = -w[i]
+			}
+		}
+		k := 1 + rng.Intn(n+10) // sometimes k > n
+		got, err := TopK(w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := topKSortRef(w, k)
+		if len(got.Indices) != len(want.Indices) {
+			t.Fatalf("trial %d: kept %d coords, want %d", trial, len(got.Indices), len(want.Indices))
+		}
+		for i := range want.Indices {
+			if got.Indices[i] != want.Indices[i] || got.Values[i] != want.Values[i] {
+				t.Fatalf("trial %d (n=%d k=%d): entry %d = (%d,%v), want (%d,%v)",
+					trial, n, k, i, got.Indices[i], got.Values[i], want.Indices[i], want.Values[i])
+			}
+		}
+	}
+}
+
+func BenchmarkTopKQuickselect(b *testing.B) {
+	rng := randx.New(78)
+	w := make([]float64, 100000)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopK(w, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKSortRef(b *testing.B) {
+	rng := randx.New(78)
+	w := make([]float64, 100000)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topKSortRef(w, 1000)
 	}
 }
