@@ -5,7 +5,7 @@ GO ?= go
 # wedging CI at the default 10-minute package deadline.
 TESTFLAGS ?= -timeout 120s
 
-.PHONY: build test vet fmt race check bench bench-all benchgate chaos trace-demo
+.PHONY: build test vet fmt race check bench bench-all benchgate chaos trace-demo fuzz
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,18 @@ race:
 	$(GO) test -race $(TESTFLAGS) ./...
 
 # check is the CI gate: formatting, static analysis, the race-enabled suite,
-# and the benchmark regression gate against the committed snapshot.
+# and the benchmark regression gate against the committed snapshot. The
+# race-enabled suite replays the FuzzFrameDecode seed corpus (plain `go
+# test` runs f.Add seeds), so every committed frame-decoder regression
+# input is exercised on each CI run; `make fuzz` explores beyond the seeds.
 check: fmt vet race benchgate
+
+# fuzz runs coverage-guided exploration of the wire-frame decoders. The
+# decoders sit directly on the network, so any input must decode or error —
+# never panic. FUZZ_TIME bounds the run (default 30s).
+FUZZ_TIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZ_TIME) ./internal/transport/
 
 # trace-demo runs a short traced experiment and validates that the emitted
 # Chrome trace-event JSON still parses and is internally consistent (every
@@ -52,10 +62,12 @@ chaos:
 		-run 'Chaos|Straggler|MinReport' ./internal/chaos/ ./internal/engine/ ./internal/transport/
 
 # The recorded benchmark set: the engine/ablation hot paths plus the batched
-# NN kernels (forward/backward, minibatch gradient, full inner solve) and the
-# transport top-k selector. bench and benchgate must agree on this set, so a
-# benchmark in the snapshot is never silently absent from the gate run.
-BENCH_PATTERN := RoundAllocs|Ablation|NNBatch|NNMinibatch|NNInnerSolve|TopK
+# NN kernels (forward/backward, minibatch gradient, full inner solve), the
+# transport top-k selector, the wire-frame marshal/unmarshal paths, and the
+# end-to-end TCP round (exact and topk-delta codecs). bench and benchgate
+# must agree on this set, so a benchmark in the snapshot is never silently
+# absent from the gate run.
+BENCH_PATTERN := RoundAllocs|Ablation|NNBatch|NNMinibatch|NNInnerSolve|TopK|Frame|WireRound
 BENCH_PKGS := . ./internal/engine ./internal/nn ./internal/models ./internal/optim ./internal/transport
 
 # bench runs the recorded benchmark set three times and snapshots the

@@ -31,6 +31,8 @@ func main() {
 		rejoin    = flag.Int("rejoin", -1, "re-dial attempts after losing the server (-1 = default: 0, or 40 with -chaos)")
 		rejoinGap = flag.Duration("rejoin-backoff", 25*time.Millisecond, "pause between re-dial attempts")
 		spans     = flag.Bool("trace-spans", false, "record solve spans and ship them to a tracing server")
+		codecStr  = flag.String("codec", "", "pin the reply codec (float64|float32|int16|int8|topk-delta); default: follow the server's round requests. A pin that disagrees with the server is rejected per round, not silently dequantized")
+		gobWire   = flag.Bool("gob-wire", false, "speak the legacy gob protocol instead of the framed wire (compatibility/baseline runs)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,11 @@ func main() {
 	fmt.Printf("fedclient %d: shard of %d samples, dialing %s\n", *id, shard.N(), *addr)
 
 	var worker *transport.Worker
-	if *chaosPath != "" {
+	switch {
+	case *chaosPath != "":
+		if *gobWire {
+			fatal(fmt.Errorf("-chaos runs on the framed wire; drop -gob-wire"))
+		}
 		sched, err := chaos.Load(*chaosPath)
 		if err != nil {
 			fatal(err)
@@ -54,11 +60,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	} else {
+	case *gobWire:
+		worker, err = transport.NewGobWorker(*addr, *id, shard, task.Model, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
 		worker, err = transport.NewWorker(*addr, *id, shard, task.Model, *seed)
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *codecStr != "" {
+		codec, err := transport.ParseCodec(*codecStr)
+		if err != nil {
+			fatal(err)
+		}
+		worker.ForceCodec(codec)
 	}
 	if *rejoin >= 0 {
 		worker.SetRejoin(*rejoin, *rejoinGap)

@@ -55,8 +55,14 @@ func main() {
 		spanLog  = flag.String("span-log", "", "write the span trace as JSONL to this path")
 		deadline = flag.Duration("round-deadline", 0, "cut each round after this wall-clock budget (0 = wait for everyone)")
 		minRep   = flag.Int("min-report", 0, "cut each round once this many workers reported (0 = wait for everyone)")
+		codecStr = flag.String("codec", "float64", "wire codec: float64 | float32 | int16 | int8 | topk-delta")
+		topkFrac = flag.Float64("topk-frac", transport.DefaultTopKFraction, "fraction of delta coordinates kept per round under -codec topk-delta")
 	)
 	flag.Parse()
+	codec, err := transport.ParseCodec(*codecStr)
+	if err != nil {
+		fatal(err)
+	}
 
 	task, err := clisetup.Task(*dataset, "softmax", *devices, *samples, 1, *seed)
 	if err != nil {
@@ -79,7 +85,9 @@ func main() {
 		fatal(err)
 	}
 	defer coord.Close()
-	fmt.Printf("fedserver: all workers connected (weights %v)\n", coord.Weights())
+	coord.SetCodec(codec)
+	coord.SetTopKFrac(*topkFrac)
+	fmt.Printf("fedserver: all workers connected (weights %v), wire codec %v\n", coord.Weights(), codec)
 	coord.SetFaultPolicy(transport.FaultPolicy{
 		MaxRetries:      *retries,
 		RetryBackoff:    *backoff,
@@ -172,7 +180,7 @@ func main() {
 		last.Participants, series.TotalFailed())
 	if summary != nil {
 		sent, recv := coord.Bandwidth()
-		fmt.Fprintf(os.Stderr, "fedserver: %d bytes sent, %d received over the run\n", sent, recv)
+		fmt.Fprintf(os.Stderr, "fedserver: %d bytes sent, %d received over the run (codec %v)\n", sent, recv, codec)
 		fmt.Fprintln(os.Stderr)
 		if err := summary.WriteTable(os.Stderr); err != nil {
 			fatal(err)

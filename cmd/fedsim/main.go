@@ -27,6 +27,7 @@ import (
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/obs"
 	"fedproxvr/internal/trace"
+	"fedproxvr/internal/transport"
 )
 
 func main() {
@@ -59,6 +60,8 @@ func main() {
 		chaosPath = flag.String("chaos", "", "inject faults from this JSON schedule (see internal/chaos)")
 		spansPath = flag.String("trace-spans", "", "write a Chrome trace-event JSON (open in Perfetto) to this path")
 		spanLog   = flag.String("span-log", "", "write the span trace as JSONL to this path")
+		codecStr  = flag.String("codec", "", "report wire-byte estimates for this codec (float64|float32|int16|int8|topk-delta); the in-process run itself is exact")
+		topkFrac  = flag.Float64("topk-frac", transport.DefaultTopKFraction, "fraction of delta coordinates kept under -codec topk-delta")
 	)
 	flag.Parse()
 
@@ -181,6 +184,23 @@ func main() {
 		if err := summary.WriteTable(os.Stderr); err != nil {
 			fatal(err)
 		}
+	}
+
+	// -codec prints what the distributed runtime would move per round for
+	// this model under the framed wire (exact closed-form sizes) next to
+	// the legacy gob float64 baseline. The in-process run above is always
+	// exact — this is the planning estimate for fedserver/fedclient runs.
+	if *codecStr != "" {
+		codec, err := transport.ParseCodec(*codecStr)
+		if err != nil {
+			fatal(err)
+		}
+		dim := task.Model.Dim()
+		topK := transport.TopKFor(*topkFrac, dim)
+		framed := transport.RoundWireSize(codec, dim, topK, false)
+		gob := transport.GobRoundWireSize(transport.CodecFloat64, dim, false)
+		fmt.Fprintf(os.Stderr, "%s: wire estimate at dim %d: %d bytes/round/device with codec %v vs %d gob float64 baseline (%.1fx smaller)\n",
+			cfg.Name, dim, framed, codec, gob, float64(gob)/float64(framed))
 	}
 }
 

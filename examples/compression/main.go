@@ -1,14 +1,20 @@
-// Communication-efficiency example: the two upload-compression mechanisms.
+// Communication-efficiency example: the framed wire protocol and its
+// compressed update modes, end to end.
 //
-//  1. Wire codec (transport.CodecFloat32): halves the bytes of every
-//     model exchange on the real TCP runtime, measured by the
-//     coordinator's bandwidth accounting, with no visible accuracy cost.
-//  2. Top-k delta sparsification (transport.TopK / SparsifyDelta): keep
-//     only the k largest-magnitude coordinates of the update delta. The
-//     demo prints the bandwidth-vs-fidelity trade-off — on this task the
-//     logistic-regression updates are dense, so aggressive sparsification
-//     visibly costs reconstruction accuracy (top-k is lossy by design;
-//     in practice the residual is carried to the next round).
+//  1. Wire codecs on the real TCP runtime: the legacy gob float64 wire
+//     versus the framed protocol at every codec — exact float64, float32,
+//     int16/int8 range-quantized deltas, and topk-delta (int8-quantized
+//     top-k sparsified delta against the broadcast anchor). Bytes are the
+//     coordinator's countingConn measurement, so framing overhead is
+//     included; loss/accuracy show what each lossy mode costs.
+//  2. Top-k delta sparsification in isolation (transport.TopK /
+//     SparsifyDelta): bandwidth-vs-fidelity of one local update. Dense
+//     logistic-regression updates make aggressive sparsification visibly
+//     lossy — in practice the residual is carried to the next round.
+//  3. The (β, μ) optimum shift: compressing updates scales the paper's
+//     d_com down by the measured compression ratio, which moves the
+//     optimum of the training-time problem (23) — fewer local iterations
+//     are needed once rounds are cheap (Section 4.3).
 package main
 
 import (
@@ -20,7 +26,10 @@ import (
 
 	fedproxvr "fedproxvr"
 	"fedproxvr/internal/core"
+	"fedproxvr/internal/data"
 	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/theory"
 	"fedproxvr/internal/transport"
 )
 
@@ -32,17 +41,20 @@ func main() {
 	cfg.Seed = 31
 	cfg.Test = task.Test
 
-	fmt.Println("— Wire codec on the TCP runtime —")
-	fmt.Printf("%-10s %14s %12s %10s\n", "codec", "bytes sent", "final loss", "acc")
-	for _, codec := range []struct {
-		name string
-		c    transport.Codec
-	}{
-		{"float64", transport.CodecFloat64},
-		{"float32", transport.CodecFloat32},
+	fmt.Println("— Wire protocol and codec on the TCP runtime —")
+	fmt.Printf("%-18s %14s %8s %12s %10s\n", "wire", "bytes moved", "vs gob", "final loss", "acc")
+	gobLoss, gobAcc, gobBytes := runDistributed(task, cfg, transport.CodecFloat64, true)
+	fmt.Printf("%-18s %14d %8s %12.4f %9.2f%%\n", "gob float64", gobBytes, "1.0x", gobLoss, gobAcc*100)
+	for _, codec := range []transport.Codec{
+		transport.CodecFloat64,
+		transport.CodecFloat32,
+		transport.CodecInt16,
+		transport.CodecInt8,
+		transport.CodecTopK,
 	} {
-		loss, acc, sent := runDistributed(task, cfg, codec.c)
-		fmt.Printf("%-10s %14d %12.4f %9.2f%%\n", codec.name, sent, loss, acc*100)
+		loss, acc, moved := runDistributed(task, cfg, codec, false)
+		fmt.Printf("%-18s %14d %7.1fx %12.4f %9.2f%%\n",
+			"framed "+codec.String(), moved, float64(gobBytes)/float64(moved), loss, acc*100)
 	}
 
 	fmt.Println("\n— Top-k delta sparsification (one local update) —")
@@ -50,7 +62,6 @@ func main() {
 	anchor := make([]float64, dim)
 	dev := core.NewDevice(0, task.Part.Clients[0], task.Model, cfg.Seed)
 	local := dev.RunRound(anchor, cfg.Local)
-	full := 8 * dim
 	fmt.Printf("%-8s %12s %22s\n", "keep", "bytes", "reconstruction error")
 	for _, frac := range []float64{1.0, 0.25, 0.10, 0.02} {
 		k := int(frac * float64(dim))
@@ -65,7 +76,35 @@ func main() {
 		relErr := mathxDist(rec, local) / mathx.Nrm2(local)
 		fmt.Printf("%-8s %12d %21.2f%%\n",
 			fmt.Sprintf("%.0f%%", frac*100), sv.WireSize(), relErr*100)
-		_ = full
+	}
+
+	// Compression enters the Section 4.3 time model through d_com: a codec
+	// that moves r× fewer bytes scales the communication delay to d_com/r
+	// (simnet.DeviceProfile.ScaleCom applies the same scaling to simulated
+	// fleets). Re-minimizing problem (23) under the scaled delay shows the
+	// optimum shifting: cheap rounds favour less local work per round.
+	fmt.Println("\n— (β, μ) optimum shift under compression (problem 23) —")
+	problem := theory.Problem{L: 1, Lambda: 0.5, SigmaBar2: 1}
+	base := theory.TimingModel{DCom: 2.0, DCmp: 0.0004} // cellular regime
+	topK := transport.TopKFor(0, dim)
+	fmt.Printf("%-22s %8s %8s %8s %8s %8s\n", "wire", "d_com", "β*", "μ*", "τ*", "T·𝒯")
+	for _, row := range []struct {
+		name  string
+		ratio float64
+	}{
+		{"gob float64", 1},
+		{"framed " + transport.CodecInt8.String(), transport.CompressionRatio(transport.CodecInt8, dim, topK)},
+		{"framed " + transport.CodecTopK.String(), transport.CompressionRatio(transport.CodecTopK, dim, topK)},
+	} {
+		tm := theory.TimingModel{DCom: base.DCom / row.ratio, DCmp: base.DCmp}
+		opt := problem.Minimize23(tm.Gamma())
+		if !opt.Feasible {
+			fmt.Printf("%-22s infeasible\n", row.name)
+			continue
+		}
+		rounds := theory.GlobalRounds(10, 0.01, opt.Fed)
+		fmt.Printf("%-22s %8.3f %8.1f %8.1f %8.0f %7.0fs\n",
+			row.name, tm.DCom, opt.Beta, opt.Mu, opt.Tau, tm.TrainingTime(rounds, opt.Tau))
 	}
 }
 
@@ -76,19 +115,26 @@ func mathxDist(a, b []float64) float64 {
 }
 
 // runDistributed executes the config over loopback TCP with the codec and
-// returns final loss, accuracy and bytes sent by the coordinator.
-func runDistributed(task fedproxvr.Task, cfg fedproxvr.Config, codec transport.Codec) (loss, acc float64, sent int64) {
+// returns final loss, accuracy and total bytes moved (sent + received) as
+// measured on the coordinator's connections.
+func runDistributed(task fedproxvr.Task, cfg fedproxvr.Config, codec transport.Codec, gobWire bool) (loss, acc float64, moved int64) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	addr := ln.Addr().String()
+	mk := func(addr string, id int, shard *data.Dataset, m models.Model, seed int64) (*transport.Worker, error) {
+		if gobWire {
+			return transport.NewGobWorker(addr, id, shard, m, seed)
+		}
+		return transport.NewWorker(addr, id, shard, m, seed)
+	}
 	var wg sync.WaitGroup
 	for id := range task.Part.Clients {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			w, err := transport.NewWorker(addr, id, task.Part.Clients[id], task.Model, cfg.Seed)
+			w, err := mk(addr, id, task.Part.Clients[id], task.Model, cfg.Seed)
 			if err != nil {
 				log.Printf("worker %d: %v", id, err)
 				return
@@ -110,6 +156,6 @@ func runDistributed(task fedproxvr.Task, cfg fedproxvr.Config, codec transport.C
 	coord.Shutdown()
 	wg.Wait()
 	last, _ := series.Last()
-	sent, _ = coord.Bandwidth()
-	return last.TrainLoss, last.TestAcc, sent
+	sent, recv := coord.Bandwidth()
+	return last.TrainLoss, last.TestAcc, sent + recv
 }

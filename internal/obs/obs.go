@@ -51,10 +51,14 @@ type RoundStats struct {
 	Rejoins int `json:"rejoins"`
 	// GradEvals is the cumulative gradient-evaluation count across devices.
 	GradEvals int64 `json:"grad_evals"`
-	// BytesSent/BytesRecv are the gob transport bytes moved this round
+	// BytesSent/BytesRecv are the transport wire bytes moved this round,
+	// counted on the raw connections so framing overhead is included
 	// (zero for in-process backends).
 	BytesSent int64 `json:"bytes_sent"`
 	BytesRecv int64 `json:"bytes_recv"`
+	// Codec is the wire codec the transport used this round ("float64",
+	// "int8", "topk-delta", ...); empty for in-process backends.
+	Codec string `json:"codec,omitempty"`
 	// Wall-clock phase timings of the engine's outer loop.
 	SelectSeconds float64 `json:"select_seconds"`
 	ExecSeconds   float64 `json:"exec_seconds"`

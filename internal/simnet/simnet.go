@@ -35,6 +35,17 @@ type DeviceProfile struct {
 // DCom returns the device's round communication delay d_com.
 func (p DeviceProfile) DCom() float64 { return p.Uplink + p.Downlink }
 
+// ScaleCom returns a copy of the profile with both link delays scaled by
+// factor. This is how a wire codec enters the paper's time model: a codec
+// that moves r× fewer bytes per round (transport.CompressionRatio) scales
+// d_com by 1/r, shifting the optimum of the training-time problem (23)
+// toward more local work — see examples/compression.
+func (p DeviceProfile) ScaleCom(factor float64) DeviceProfile {
+	p.Uplink *= factor
+	p.Downlink *= factor
+	return p
+}
+
 // Gamma returns the device's weight factor γ = d_cmp/d_com.
 func (p DeviceProfile) Gamma() float64 {
 	if p.DCom() == 0 {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -23,18 +24,75 @@ import (
 	"fedproxvr/internal/trace"
 )
 
-// clientConn is one connected worker. dead marks a connection the
-// coordinator tore down after a network-level fault; a dead worker is
-// skipped (counted as a dropout) until a replacement rejoins. dead is
-// written only while holding the coordinator's mu (readers off the main
-// goroutine — the rejoin accept loop — also take mu).
+// clientConn is one connected worker. The wire format is fixed per
+// connection at handshake time: framed peers (the default Worker) speak the
+// binary protocol of frame.go, legacy peers speak gob — see handshake.
+//
+// dead marks a connection the coordinator tore down after a network-level
+// fault; a dead worker is skipped (counted as a dropout) until a
+// replacement rejoins. dead is written only while holding the coordinator's
+// mu (readers off the main goroutine — the rejoin accept loop — also take
+// mu).
 type clientConn struct {
 	id      int
 	samples int
 	conn    *countingConn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	dead    bool
+	framed  bool
+	// Framed wire. rep is the per-connection decode target: its Local and
+	// Spans buffers are reused round over round, so decoded models alias it
+	// and are valid until the connection's next exchange (the engine
+	// consumes them within the round; Round clones).
+	fr  frameReader
+	fw  frameWriter
+	rep RoundReply
+	// Legacy gob wire.
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	dead bool
+}
+
+// handshake reads the Hello off a fresh connection, auto-detecting the wire
+// format from its first byte: framed streams start with frameMagic (0xFE),
+// which no gob stream can (gob begins with a small uvarint message length).
+// On error the caller owns closing conn.
+func handshake(conn net.Conn, timeout time.Duration) (*clientConn, error) {
+	counted := newCountingConn(conn)
+	br := bufio.NewReader(counted)
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, protocolError("hello", err)
+	}
+	cc := &clientConn{conn: counted}
+	var hello Hello
+	if first[0] == frameMagic {
+		cc.framed = true
+		cc.fr = frameReader{r: br}
+		cc.fw = frameWriter{w: counted}
+		typ, payload, err := cc.fr.next()
+		if err != nil {
+			return nil, protocolError("hello", err)
+		}
+		if typ != msgHello {
+			return nil, protocolError("hello", errFrame("expected hello, got frame type %d", typ))
+		}
+		if hello, err = unmarshalHello(payload); err != nil {
+			return nil, protocolError("hello", err)
+		}
+	} else {
+		// The decoder must read through br (it holds the peeked byte); the
+		// encoder writes straight to the counted conn.
+		cc.enc = gob.NewEncoder(counted)
+		cc.dec = gob.NewDecoder(br)
+		if err := cc.dec.Decode(&hello); err != nil {
+			return nil, protocolError("hello", err)
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+	cc.id, cc.samples = hello.ClientID, hello.NumSamples
+	return cc, nil
 }
 
 // FaultPolicy governs how the coordinator degrades when workers fail
@@ -42,12 +100,13 @@ type clientConn struct {
 // model: a round aggregates whichever devices report).
 type FaultPolicy struct {
 	// MaxRetries re-sends a round request to a worker that returned an
-	// application-level error (worker-side panic, wrong-round reply) this
-	// many times before counting it out of the round. Network-level
-	// failures (dial reset, decode error, deadline exceeded) are never
-	// retried: a gob stream cannot be resynchronized after a partial
-	// message, so the connection is torn down and the worker may rejoin
-	// between rounds with a fresh Hello.
+	// application-level error (worker-side panic, wrong-round or
+	// wrong-codec reply) this many times before counting it out of the
+	// round. Network-level failures (dial reset, decode error, deadline
+	// exceeded) are never retried: neither a gob stream nor a framed one
+	// can be resynchronized after a partial message, so the connection is
+	// torn down and the worker may rejoin between rounds with a fresh
+	// Hello.
 	MaxRetries int
 	// RetryBackoff is the pause before each retry.
 	RetryBackoff time.Duration
@@ -74,13 +133,21 @@ func DefaultFaultPolicy() FaultPolicy {
 // Executor. Per-worker faults degrade rounds instead of aborting them —
 // see FaultPolicy and roundSubset.
 type Coordinator struct {
-	ln      net.Listener
-	clients []*clientConn // index == client ID after construction
-	weights []float64
-	timeout time.Duration
-	codec   Codec
-	fault   FaultPolicy
-	onFault func(clientID int, err error)
+	ln       net.Listener
+	clients  []*clientConn // index == client ID after construction
+	weights  []float64
+	timeout  time.Duration
+	codec    Codec
+	topKFrac float64
+	fault    FaultPolicy
+	onFault  func(clientID int, err error)
+
+	// Per-round framed-wire state, rebuilt by roundSubset on the
+	// coordinator goroutine before the fan-out and then read-only: the
+	// request frame is encoded once and shared by every framed worker, and
+	// refBuf holds the dequantized anchor the delta codecs decode against.
+	reqFrame []byte
+	refBuf   []float64
 
 	mu           sync.Mutex          // guards pending, dead flags cross-goroutine, retired counters
 	rejoined     *sync.Cond          // signaled (on mu) when a replacement connection arrives
@@ -108,8 +175,15 @@ type Coordinator struct {
 }
 
 // SetCodec selects the wire codec for subsequent rounds (default
-// CodecFloat64). Safe to change between rounds, not during one.
+// CodecFloat64). Safe to change between rounds, not during one. The int
+// and topk codecs require framed workers; a legacy gob peer asked for one
+// replies with an application-level error and drops out of the round.
 func (c *Coordinator) SetCodec(codec Codec) { c.codec = codec }
+
+// SetTopKFrac sets the fraction of delta coordinates kept per round under
+// CodecTopK (default DefaultTopKFraction). Safe to change between rounds,
+// not during one.
+func (c *Coordinator) SetTopKFrac(frac float64) { c.topKFrac = frac }
 
 // SetFaultPolicy replaces the fault-handling knobs (default
 // DefaultFaultPolicy). Safe to change between rounds, not during one.
@@ -153,7 +227,9 @@ func NewCoordinator(addr string, numClients int, timeout time.Duration) (*Coordi
 
 // NewCoordinatorOn completes coordinator construction over an existing
 // listener: it blocks until numClients workers have connected and
-// handshaked, then returns. On error the listener is closed.
+// handshaked, then returns. On error the listener is closed. Framed and
+// legacy gob workers may mix freely in one cohort (the wire format is
+// per-connection).
 func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*Coordinator, error) {
 	if numClients <= 0 {
 		ln.Close()
@@ -173,26 +249,18 @@ func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*
 			c.Close()
 			return nil, protocolError("accept", err)
 		}
-		counted := newCountingConn(conn)
-		cc := &clientConn{conn: counted, enc: gob.NewEncoder(counted), dec: gob.NewDecoder(counted)}
-		var hello Hello
-		if timeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(timeout))
-		}
-		if err := cc.dec.Decode(&hello); err != nil {
+		cc, err := handshake(conn, timeout)
+		if err != nil {
 			conn.Close()
 			c.Close()
-			return nil, protocolError("hello", err)
+			return nil, err
 		}
-		conn.SetReadDeadline(time.Time{})
-		if hello.ClientID < 0 || hello.ClientID >= numClients || seen[hello.ClientID] {
+		if cc.id < 0 || cc.id >= numClients || seen[cc.id] {
 			conn.Close()
 			c.Close()
-			return nil, fmt.Errorf("transport: bad or duplicate client id %d", hello.ClientID)
+			return nil, fmt.Errorf("transport: bad or duplicate client id %d", cc.id)
 		}
-		seen[hello.ClientID] = true
-		cc.id = hello.ClientID
-		cc.samples = hello.NumSamples
+		seen[cc.id] = true
 		c.clients = append(c.clients, cc)
 	}
 	sort.Slice(c.clients, func(i, j int) bool { return c.clients[i].id < c.clients[j].id })
@@ -232,31 +300,25 @@ func (c *Coordinator) acceptLoop() {
 // adoption at the next round boundary. The replacement must present the ID
 // of a currently-dead worker and the same shard size (the aggregation
 // weights were fixed at construction); anything else is rejected by
-// closing the connection.
+// closing the connection. The replacement may rejoin on either wire
+// format, independent of what the lost connection spoke.
 func (c *Coordinator) handleRejoin(conn net.Conn) {
-	counted := newCountingConn(conn)
-	cc := &clientConn{conn: counted, enc: gob.NewEncoder(counted), dec: gob.NewDecoder(counted)}
-	if c.timeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(c.timeout))
-	}
-	var hello Hello
-	if err := cc.dec.Decode(&hello); err != nil {
+	cc, err := handshake(conn, c.timeout)
+	if err != nil {
 		conn.Close()
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if hello.ClientID < 0 || hello.ClientID >= len(c.clients) {
+	if cc.id < 0 || cc.id >= len(c.clients) {
 		conn.Close()
 		return
 	}
-	old := c.clients[hello.ClientID]
-	if !old.dead || hello.NumSamples != old.samples {
+	old := c.clients[cc.id]
+	if !old.dead || cc.samples != old.samples {
 		conn.Close()
 		return
 	}
-	cc.id, cc.samples = hello.ClientID, hello.NumSamples
 	if prev, ok := c.pending[cc.id]; ok {
 		prev.conn.Close()
 	}
@@ -326,6 +388,7 @@ func (c *Coordinator) Weights() []float64 { return c.weights }
 // and returns them indexed by client ID. A worker that failed the round
 // leaves a nil entry; the error is non-nil only for run-fatal conditions
 // (every worker dead, quorum floor violated too many rounds in a row).
+// The returned slices are the caller's (framed decode buffers are cloned).
 func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][]float64, error) {
 	all := make([]int, len(c.clients))
 	for i := range all {
@@ -334,6 +397,11 @@ func (c *Coordinator) Round(round int, anchor []float64, local core.Config) ([][
 	locals := make([][]float64, len(c.clients))
 	if _, _, err := c.roundSubset(context.Background(), round, anchor, local.Local, all, locals, nil, 0); err != nil {
 		return nil, err
+	}
+	for i, v := range locals {
+		if v != nil {
+			locals[i] = mathx.Clone(v)
+		}
 	}
 	return locals, nil
 }
@@ -344,8 +412,8 @@ var errWorkerDown = fmt.Errorf("transport: worker connection is down")
 
 // errStraggler wraps a network timeout attributable to the round deadline
 // or a quorum cut rather than the flat per-connection timeout: the worker
-// is healthy but late. Its connection is still torn down (a gob stream
-// cannot abandon a mid-flight exchange), and it rejoins between rounds.
+// is healthy but late. Its connection is still torn down (neither wire can
+// abandon a mid-flight exchange), and it rejoins between rounds.
 var errStraggler = errors.New("transport: cut from the round as a straggler")
 
 // errRoundCut marks a worker that was between retry attempts when the
@@ -353,10 +421,24 @@ var errStraggler = errors.New("transport: cut from the round as a straggler")
 // reply was fully read), so the connection survives into the next round.
 var errRoundCut = errors.New("transport: round over before retry")
 
+// roundCtx is the immutable per-round wire state shared by the fan-out
+// goroutines: the gob-path request, the framed request encoded once, and
+// the reference anchor the delta codecs decode replies against.
+type roundCtx struct {
+	round int
+	codec Codec
+	dim   int
+	req   *RoundRequest // gob path (anchor quantized per codec)
+	frame []byte        // framed path, shared read-only
+	ref   []float64     // dequantized anchor (delta reference), read-only
+}
+
 // roundSubset runs one round against the selected workers only (partial
 // participation), filling locals[i] with selected[i]'s reported model —
 // nil when that worker failed the round — and, when evals is non-nil,
-// evals[id] with that worker's cumulative gradient evaluations.
+// evals[id] with that worker's cumulative gradient evaluations. Models
+// from framed workers alias per-connection decode buffers, valid until
+// that connection's next exchange (the engine's Executor contract).
 //
 // Per-worker faults are converted into dropouts: application-level errors
 // are retried per FaultPolicy, network-level errors tear the connection
@@ -380,8 +462,12 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 	}
 	c.adoptRejoined()
 	roundDL, hasDL := ctx.Deadline()
+	topK := 0
+	if c.codec == CodecTopK {
+		topK = TopKFor(c.topKFrac, len(anchor))
+	}
 	a64, a32 := quantize(c.codec, anchor)
-	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local}
+	req := RoundRequest{Round: round, Codec: c.codec, Anchor: a64, Anchor32: a32, Local: local, TopK: topK}
 	tr := c.tracer
 	if tr != nil {
 		// Propagate the trace context: workers parent their solve spans
@@ -391,6 +477,19 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 		req.TraceID = tr.TraceID()
 		req.SpanID = tr.CurrentRound()
 	}
+	// The framed request carries the full-precision anchor (marshalRequest
+	// quantizes per codec); it is encoded once here and the same bytes go
+	// to every framed worker. ref is the anchor exactly as framed workers
+	// decode it — the delta codecs reconstruct replies against it.
+	frReq := RoundRequest{Round: round, Codec: c.codec, Anchor: anchor, Local: local, TopK: topK,
+		TraceID: req.TraceID, SpanID: req.SpanID}
+	c.reqFrame = marshalRequest(c.reqFrame[:0], &frReq)
+	ref := anchor
+	if c.codec != CodecFloat64 {
+		c.refBuf = codecReference(c.codec, anchor, c.refBuf)
+		ref = c.refBuf
+	}
+	rc := &roundCtx{round: round, codec: c.codec, dim: len(anchor), req: &req, frame: c.reqFrame, ref: ref}
 	errs := make([]error, len(selected))
 	var cut atomic.Bool
 	var wg sync.WaitGroup
@@ -459,7 +558,7 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 			var werr error
 			if obsOn {
 				t0 := time.Now()
-				vec, solve, werr = c.askWorker(cc, round, &req, len(anchor), evals, roundDL, hasDL, &cut)
+				vec, solve, werr = c.askWorker(cc, rc, evals, roundDL, hasDL, &cut)
 				if werr == nil {
 					// Distinct goroutines write distinct i — no lock needed.
 					c.obsLat[i] = obs.ClientStat{
@@ -469,7 +568,7 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 					}
 				}
 			} else {
-				vec, _, werr = c.askWorker(cc, round, &req, len(anchor), evals, roundDL, hasDL, &cut)
+				vec, _, werr = c.askWorker(cc, rc, evals, roundDL, hasDL, &cut)
 			}
 			if done != nil {
 				done[i].Store(true)
@@ -490,7 +589,8 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 		if cc.dead {
 			return
 		}
-		// The gob stream is unusable after a failed exchange: tear the
+		// The stream is unusable after a failed exchange (neither gob nor
+		// the framing resynchronizes past a partial message): tear the
 		// connection down. The worker rejoins with a fresh Hello.
 		cc.conn.Close()
 		c.mu.Lock()
@@ -560,7 +660,7 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 // attempt (zero on failure). Retries are abandoned once the round is cut
 // (quorum reached or the round deadline passed) — the reply would be
 // discarded anyway.
-func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64, roundDL time.Time, hasDL bool, cut *atomic.Bool) (vec []float64, solveSec float64, err error) {
+func (c *Coordinator) askWorker(cc *clientConn, rc *roundCtx, evals []int64, roundDL time.Time, hasDL bool, cut *atomic.Bool) (vec []float64, solveSec float64, err error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.fault.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -575,7 +675,7 @@ func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, di
 				time.Sleep(c.fault.RetryBackoff)
 			}
 		}
-		vec, solve, err, retriable := c.exchange(cc, round, req, dim, evals, roundDL, hasDL, cut)
+		vec, solve, err, retriable := c.exchange(cc, rc, evals, roundDL, hasDL, cut)
 		if err == nil {
 			return vec, solve, nil
 		}
@@ -588,13 +688,14 @@ func (c *Coordinator) askWorker(cc *clientConn, round int, req *RoundRequest, di
 }
 
 // exchange is a single request/reply attempt. retriable distinguishes
-// application-level failures (worker panic, wrong-round reply — the stream
-// is still framed, so a resend can succeed) from network-level ones (the
-// gob stream is torn; the caller must drop the connection). The per-message
-// deadline is the flat timeout clamped to the round deadline; a timeout
-// attributable to the round deadline or a quorum cut is wrapped in
-// errStraggler so the caller can tell a late worker from a dead one.
-func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim int, evals []int64, roundDL time.Time, hasDL bool, cut *atomic.Bool) (vec []float64, solveSec float64, err error, retriable bool) {
+// application-level failures (worker panic, wrong-round or wrong-codec
+// reply — the stream is still framed, so a resend can succeed) from
+// network-level ones (the stream is torn; the caller must drop the
+// connection). The per-message deadline is the flat timeout clamped to the
+// round deadline; a timeout attributable to the round deadline or a quorum
+// cut is wrapped in errStraggler so the caller can tell a late worker from
+// a dead one.
+func (c *Coordinator) exchange(cc *clientConn, rc *roundCtx, evals []int64, roundDL time.Time, hasDL bool, cut *atomic.Bool) (vec []float64, solveSec float64, err error, retriable bool) {
 	var dl time.Time
 	if c.timeout > 0 {
 		dl = time.Now().Add(c.timeout)
@@ -625,30 +726,61 @@ func (c *Coordinator) exchange(cc *clientConn, round int, req *RoundRequest, dim
 	if c.tracer != nil {
 		sentAt = time.Now()
 	}
-	if err := cc.enc.Encode(req); err != nil {
-		return nil, 0, wrap("send to", err), false
-	}
-	var rep RoundReply
-	if err := cc.dec.Decode(&rep); err != nil {
-		return nil, 0, wrap("recv from", err), false
+	var rep *RoundReply
+	if cc.framed {
+		if err := cc.fw.writeFrame(rc.frame); err != nil {
+			return nil, 0, wrap("send to", err), false
+		}
+		typ, payload, err := cc.fr.next()
+		if err != nil {
+			return nil, 0, wrap("recv from", err), false
+		}
+		if typ != msgRoundReply {
+			return nil, 0, wrap("recv from", errFrame("expected round reply, got frame type %d", typ)), false
+		}
+		rep = &cc.rep
+		if err := unmarshalReply(payload, rep, rc.ref); err != nil {
+			return nil, 0, wrap("recv from", err), false
+		}
+	} else {
+		var gobRep RoundReply
+		if err := cc.enc.Encode(rc.req); err != nil {
+			return nil, 0, wrap("send to", err), false
+		}
+		if err := cc.dec.Decode(&gobRep); err != nil {
+			return nil, 0, wrap("recv from", err), false
+		}
+		rep = &gobRep
+		if rep.Err == "" && rep.Local32 != nil && rep.Local == nil {
+			// Legacy gob peers carry the codec implicitly in which field
+			// they set; normalize so the enforcement below sees it.
+			rep.Codec = CodecFloat32
+		}
 	}
 	if rep.Err != "" {
 		return nil, 0, fmt.Errorf("transport: client %d: %s", cc.id, rep.Err), true
 	}
-	if rep.Round != round {
+	if rep.Round != rc.round {
 		return nil, 0, fmt.Errorf("transport: client %d replied for round %d, want %d",
-			cc.id, rep.Round, round), true
+			cc.id, rep.Round, rc.round), true
+	}
+	if rep.Codec != rc.codec {
+		// Enforce the same-codec contract instead of silently dequantizing
+		// whatever arrived: a mixed-codec aggregate would blend different
+		// error floors without anything flagging it.
+		return nil, 0, fmt.Errorf("transport: client %d replied in codec %v, want %v",
+			cc.id, rep.Codec, rc.codec), true
 	}
 	vec = rep.LocalVec()
-	if len(vec) != dim {
+	if len(vec) != rc.dim {
 		return nil, 0, fmt.Errorf("transport: client %d sent %d params, want %d",
-			cc.id, len(vec), dim), true
+			cc.id, len(vec), rc.dim), true
 	}
 	if evals != nil {
 		evals[cc.id] = rep.GradEvals
 	}
 	if c.tracer != nil && len(rep.Spans) > 0 {
-		c.tracer.IngestWire(rep.Spans, req.SpanID, "worker-"+strconv.Itoa(cc.id), sentAt)
+		c.tracer.IngestWire(rep.Spans, rc.req.SpanID, "worker-"+strconv.Itoa(cc.id), sentAt)
 	}
 	return vec, rep.SolveSeconds, nil, false
 }
@@ -800,7 +932,8 @@ func (x *Executor) EnableStats(on bool) {
 
 // CollectStats implements engine.StatsSource: per-round wire-byte deltas
 // (retired connections included, via Bandwidth) plus the coordinator's
-// retry/rejoin counts and per-client round-trip and solve latencies.
+// retry/rejoin counts, the active codec, and per-client round-trip and
+// solve latencies.
 func (x *Executor) CollectStats(rs *obs.RoundStats) {
 	if !x.statsOn {
 		return
@@ -808,6 +941,7 @@ func (x *Executor) CollectStats(rs *obs.RoundStats) {
 	sent, recv := x.c.Bandwidth()
 	rs.BytesSent += sent - x.lastSent
 	rs.BytesRecv += recv - x.lastRecv
+	rs.Codec = x.c.codec.String()
 	x.lastSent, x.lastRecv = sent, recv
 	x.c.collectRoundObs(rs)
 }
@@ -855,17 +989,23 @@ func (c *Coordinator) Engine(w0 []float64, cfg core.Config, evalModel models.Mod
 }
 
 // Shutdown tells every live worker (including pending rejoins) to exit
-// cleanly. Dead connections are skipped.
+// cleanly, in whichever wire format its connection speaks. Dead
+// connections are skipped.
 func (c *Coordinator) Shutdown() {
 	c.adoptRejoined()
 	req := RoundRequest{Done: true}
+	doneFrame := marshalRequest(nil, &req)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, cc := range c.clients {
 		if cc.dead {
 			continue
 		}
-		_ = cc.enc.Encode(&req)
+		if cc.framed {
+			_ = cc.fw.writeFrame(doneFrame)
+		} else {
+			_ = cc.enc.Encode(&req)
+		}
 	}
 }
 

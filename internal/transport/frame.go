@@ -1,0 +1,679 @@
+package transport
+
+// The framed binary wire protocol. gob's per-message reflection and its
+// ~9-byte varint encoding of a full-mantissa float64 are pure overhead for
+// the round path's fixed-layout messages, whose payloads are long float64
+// vectors; this hand-rolled framing is the default wire format and cuts
+// exact-mode round traffic by the gob preamble + per-element overhead, and
+// compressed-codec traffic by 10–50× (see codec.go).
+//
+// Every frame is
+//
+//	magic(0xFE) | type(u8) | payloadLen(u32 LE) | payload
+//
+// with three frame types: Hello, RoundRequest and RoundReply. All integers
+// are little-endian; floats are IEEE-754 bits (float64 vectors round-trip
+// bit-exactly, keeping the conformance suites bit-identical in
+// CodecFloat64). The magic byte doubles as the wire-format handshake: gob
+// streams cannot begin with 0xFE (a gob stream starts with a small uvarint
+// message length), so the coordinator sniffs the first byte of each
+// accepted connection and speaks gob to legacy peers — see handshake().
+//
+// Payload layouts (all fields fixed-width unless marked uvarint):
+//
+//	Hello        version(u8) clientID(i32) numSamples(i32)
+//	RoundRequest round(u32) flags(u8) codec(u8) topK(u32)
+//	             -- omitted when flags&reqFlagDone:
+//	             eta(f64) mu(f64) clipNorm(f64) tau(u32) batch(u32)
+//	             estimator(u8) return(u8) schedule(u8)
+//	             traceID(u64) spanID(u64)      -- only when flags&reqFlagTrace
+//	             anchor vector (downlink layout, see below)
+//	RoundReply   clientID(i32) round(u32) flags(u8) codec(u8)
+//	             gradEvals(i64) solveSeconds(f64)
+//	             errLen(uvarint) err            -- only when flags&repFlagErr,
+//	                                               then nothing follows
+//	             spanCount(uvarint) spans       -- each: id(uvarint)
+//	                                               parent(uvarint)
+//	                                               nameLen(uvarint) name
+//	                                               start(f64) end(f64)
+//	             local vector (uplink layout)
+//
+// Vector layouts are codec-dependent; dim(u32) always comes first.
+// Downlink (the anchor, quantized absolutely):
+//
+//	float64  8·dim raw bits
+//	float32  4·dim
+//	int16    lo(f64) step(f64) 2·dim
+//	int8     lo(f64) step(f64) 1·dim     (topk-delta broadcasts int8 too)
+//
+// Uplink (the local model; int and topk codecs carry the DELTA against
+// the request's dequantized anchor — see codecReference):
+//
+//	float64  8·dim raw bits
+//	float32  4·dim
+//	int16    lo(f64) step(f64) 2·dim
+//	int8     lo(f64) step(f64) 1·dim
+//	topk     k(u32) lo(f64) step(f64) 4·k indices 1·k values
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"fedproxvr/internal/optim"
+	"fedproxvr/internal/trace"
+)
+
+const (
+	frameMagic   = 0xFE
+	frameVersion = 1
+
+	msgHello        = 1
+	msgRoundRequest = 2
+	msgRoundReply   = 3
+
+	frameHeaderSize = 6
+	// maxFramePayload bounds decoder allocation against a corrupt or
+	// hostile length prefix (a 64 MB frame is a ~8M-parameter float64
+	// vector — far above any model this runtime moves).
+	maxFramePayload = 64 << 20
+)
+
+// RoundRequest flags.
+const (
+	reqFlagDone  = 1 << 0
+	reqFlagTrace = 1 << 1
+)
+
+// RoundReply flags.
+const repFlagErr = 1 << 0
+
+// errFrame marks wire-level framing violations (bad magic, short payload,
+// unknown type). Like a gob decode error they are network-class: the
+// stream cannot be trusted after one, so the connection is torn down.
+func errFrame(format string, args ...interface{}) error {
+	return fmt.Errorf("transport: frame: "+format, args...)
+}
+
+// wireBuf is an append-only little-endian encoder over a reusable byte
+// slice. All methods are branch-free appends; the caller owns the slice.
+type wireBuf struct{ b []byte }
+
+func (w *wireBuf) u8(v byte)     { w.b = append(w.b, v) }
+func (w *wireBuf) u32(v uint32)  { w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (w *wireBuf) u16(v uint16)  { w.b = append(w.b, byte(v), byte(v>>8)) }
+func (w *wireBuf) i32(v int32)   { w.u32(uint32(v)) }
+func (w *wireBuf) f32(v float32) { w.u32(math.Float32bits(v)) }
+func (w *wireBuf) u64(v uint64) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (w *wireBuf) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wireBuf) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *wireBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		w.b = append(w.b, byte(v)|0x80)
+		v >>= 7
+	}
+	w.b = append(w.b, byte(v))
+}
+func (w *wireBuf) bytes(p []byte) { w.b = append(w.b, p...) }
+
+// beginFrame appends the frame header with a zero length to patch later.
+func (w *wireBuf) beginFrame(typ byte) int {
+	w.u8(frameMagic)
+	w.u8(typ)
+	w.u32(0)
+	return len(w.b)
+}
+
+// endFrame patches the payload length of the frame opened at body offset.
+func (w *wireBuf) endFrame(body int) {
+	n := uint32(len(w.b) - body)
+	w.b[body-4] = byte(n)
+	w.b[body-3] = byte(n >> 8)
+	w.b[body-2] = byte(n >> 16)
+	w.b[body-1] = byte(n >> 24)
+}
+
+// wireCursor decodes a frame payload with bounds checking. The first
+// failure latches err and every later read returns zero, so decode code
+// reads straight through and checks err once.
+type wireCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *wireCursor) fail(what string) {
+	if c.err == nil {
+		c.err = errFrame("truncated or malformed %s at offset %d", what, c.off)
+	}
+}
+
+func (c *wireCursor) take(n int, what string) []byte {
+	if c.err != nil || n < 0 || c.off+n > len(c.b) {
+		c.fail(what)
+		return nil
+	}
+	p := c.b[c.off : c.off+n]
+	c.off += n
+	return p
+}
+
+func (c *wireCursor) u8(what string) byte {
+	p := c.take(1, what)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (c *wireCursor) u16(what string) uint16 {
+	p := c.take(2, what)
+	if p == nil {
+		return 0
+	}
+	return uint16(p[0]) | uint16(p[1])<<8
+}
+
+func (c *wireCursor) u32(what string) uint32 {
+	p := c.take(4, what)
+	if p == nil {
+		return 0
+	}
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+func (c *wireCursor) u64(what string) uint64 {
+	p := c.take(8, what)
+	if p == nil {
+		return 0
+	}
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+
+func (c *wireCursor) i32(what string) int32   { return int32(c.u32(what)) }
+func (c *wireCursor) i64(what string) int64   { return int64(c.u64(what)) }
+func (c *wireCursor) f64(what string) float64 { return math.Float64frombits(c.u64(what)) }
+func (c *wireCursor) f32(what string) float32 { return math.Float32frombits(c.u32(what)) }
+func (c *wireCursor) uvarint(what string) uint64 {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		b := c.u8(what)
+		if c.err != nil {
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+	}
+	c.fail(what)
+	return 0
+}
+
+// done reports whether the payload was consumed exactly; trailing garbage
+// is a framing violation (it would silently desynchronize a lesser parser).
+func (c *wireCursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return errFrame("%d trailing bytes after message", len(c.b)-c.off)
+	}
+	return nil
+}
+
+// ensureF64 returns dst resized to n, reusing its backing array when
+// possible (per-connection decode buffers are steady-state alloc-free).
+func ensureF64(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// ---------------------------------------------------------------------------
+// Marshalling
+
+// marshalHello appends a Hello frame to dst.
+func marshalHello(dst []byte, h *Hello) []byte {
+	w := wireBuf{b: dst}
+	body := w.beginFrame(msgHello)
+	w.u8(frameVersion)
+	w.i32(int32(h.ClientID))
+	w.i32(int32(h.NumSamples))
+	w.endFrame(body)
+	return w.b
+}
+
+// marshalRequest appends a RoundRequest frame to dst. req.Anchor must hold
+// the full-precision anchor (the marshaller quantizes per req.Codec); a
+// Done request carries no config and no anchor.
+func marshalRequest(dst []byte, req *RoundRequest) []byte {
+	w := wireBuf{b: dst}
+	body := w.beginFrame(msgRoundRequest)
+	var flags byte
+	if req.Done {
+		flags |= reqFlagDone
+	}
+	if req.TraceID != 0 {
+		flags |= reqFlagTrace
+	}
+	w.u32(uint32(req.Round))
+	w.u8(flags)
+	w.u8(byte(req.Codec))
+	w.u32(uint32(req.TopK))
+	if !req.Done {
+		w.f64(req.Local.Eta)
+		w.f64(req.Local.Mu)
+		w.f64(req.Local.ClipNorm)
+		w.u32(uint32(req.Local.Tau))
+		w.u32(uint32(req.Local.Batch))
+		w.u8(byte(req.Local.Estimator))
+		w.u8(byte(req.Local.Return))
+		w.u8(byte(req.Local.Schedule))
+		if req.TraceID != 0 {
+			w.u64(req.TraceID)
+			w.u64(req.SpanID)
+		}
+		marshalVecDown(&w, req.Codec, req.Anchor)
+	}
+	w.endFrame(body)
+	return w.b
+}
+
+// marshalVecDown encodes the broadcast anchor: absolute values under every
+// codec (int codecs range-quantize the vector itself — both peers then
+// share the identical dequantized anchor, the delta reference).
+func marshalVecDown(w *wireBuf, c Codec, v []float64) {
+	w.u32(uint32(len(v)))
+	switch c {
+	case CodecFloat32:
+		for _, x := range v {
+			w.f32(float32(x))
+		}
+	case CodecInt16:
+		lo, step := quantBounds(v, int16Levels)
+		w.f64(lo)
+		w.f64(step)
+		for _, x := range v {
+			w.u16(uint16(quantLevel(x, lo, step, int16Levels)))
+		}
+	case CodecInt8, CodecTopK:
+		lo, step := quantBounds(v, int8Levels)
+		w.f64(lo)
+		w.f64(step)
+		for _, x := range v {
+			w.u8(byte(quantLevel(x, lo, step, int8Levels)))
+		}
+	default: // CodecFloat64
+		for _, x := range v {
+			w.f64(x)
+		}
+	}
+}
+
+// marshalReply appends a RoundReply frame to dst. rep.Local must hold the
+// full-precision local model; ref is the dequantized anchor the delta
+// codecs encode against (it must equal what codecReference produced on the
+// coordinator — for framed peers it is simply the decoded request anchor).
+// scratch is a reusable delta buffer, grown as needed and returned.
+func marshalReply(dst []byte, rep *RoundReply, ref, scratch []float64, topK int) ([]byte, []float64) {
+	w := wireBuf{b: dst}
+	body := w.beginFrame(msgRoundReply)
+	var flags byte
+	if rep.Err != "" {
+		flags |= repFlagErr
+	}
+	w.i32(int32(rep.ClientID))
+	w.u32(uint32(rep.Round))
+	w.u8(flags)
+	w.u8(byte(rep.Codec))
+	w.i64(rep.GradEvals)
+	w.f64(rep.SolveSeconds)
+	if rep.Err != "" {
+		w.uvarint(uint64(len(rep.Err)))
+		w.bytes([]byte(rep.Err))
+		w.endFrame(body)
+		return w.b, scratch
+	}
+	w.uvarint(uint64(len(rep.Spans)))
+	for _, s := range rep.Spans {
+		w.uvarint(s.ID)
+		w.uvarint(s.Parent)
+		w.uvarint(uint64(len(s.Name)))
+		w.bytes([]byte(s.Name))
+		w.f64(s.Start)
+		w.f64(s.End)
+	}
+	scratch = marshalVecUp(&w, rep.Codec, rep.Local, ref, scratch, topK)
+	w.endFrame(body)
+	return w.b, scratch
+}
+
+// marshalVecUp encodes the local model for the uplink: raw floats in the
+// exact codecs, the range-quantized delta local−ref in the int codecs, and
+// the int8-quantized top-k of that delta in CodecTopK.
+func marshalVecUp(w *wireBuf, c Codec, v, ref, scratch []float64, topK int) []float64 {
+	w.u32(uint32(len(v)))
+	switch c {
+	case CodecFloat32:
+		for _, x := range v {
+			w.f32(float32(x))
+		}
+	case CodecInt16, CodecInt8:
+		scratch = deltaInto(scratch, v, ref)
+		levels := int16Levels
+		if c == CodecInt8 {
+			levels = int8Levels
+		}
+		lo, step := quantBounds(scratch, levels)
+		w.f64(lo)
+		w.f64(step)
+		for _, x := range scratch {
+			q := quantLevel(x, lo, step, levels)
+			if c == CodecInt8 {
+				w.u8(byte(q))
+			} else {
+				w.u16(uint16(q))
+			}
+		}
+	case CodecTopK:
+		scratch = deltaInto(scratch, v, ref)
+		k := clampTopK(topK, len(v))
+		w.u32(uint32(k))
+		if k == 0 {
+			w.f64(0)
+			w.f64(0)
+			break
+		}
+		sv, _ := TopK(scratch, k) // k ≥ 1 here, so TopK cannot fail
+		lo, step := quantBounds(sv.Values, int8Levels)
+		w.f64(lo)
+		w.f64(step)
+		for _, idx := range sv.Indices {
+			w.u32(uint32(idx))
+		}
+		for _, x := range sv.Values {
+			w.u8(byte(quantLevel(x, lo, step, int8Levels)))
+		}
+	default: // CodecFloat64
+		for _, x := range v {
+			w.f64(x)
+		}
+	}
+	return scratch
+}
+
+// deltaInto stores v−ref into scratch (grown as needed). A ref of the
+// wrong length yields the raw vector — the decoder's dimension check
+// rejects the exchange rather than silently corrupting it.
+func deltaInto(scratch, v, ref []float64) []float64 {
+	scratch = ensureF64(scratch, len(v))
+	if len(ref) != len(v) {
+		copy(scratch, v)
+		return scratch
+	}
+	for i, x := range v {
+		scratch[i] = x - ref[i]
+	}
+	return scratch
+}
+
+// ---------------------------------------------------------------------------
+// Unmarshalling
+
+// unmarshalHello decodes a Hello payload.
+func unmarshalHello(p []byte) (Hello, error) {
+	c := wireCursor{b: p}
+	v := c.u8("hello version")
+	h := Hello{ClientID: int(c.i32("hello client id")), NumSamples: int(c.i32("hello samples"))}
+	if err := c.done(); err != nil {
+		return Hello{}, err
+	}
+	if v != frameVersion {
+		return Hello{}, errFrame("unsupported protocol version %d", v)
+	}
+	return h, nil
+}
+
+// unmarshalRequest decodes a RoundRequest payload into req, overwriting
+// every field (req is safely reusable across rounds). req.Anchor is filled
+// with the DEQUANTIZED anchor — under the int codecs that is exactly the
+// reference vector the reply's delta must be encoded against.
+func unmarshalRequest(p []byte, req *RoundRequest) error {
+	c := wireCursor{b: p}
+	req.Round = int(c.u32("request round"))
+	flags := c.u8("request flags")
+	req.Codec = Codec(c.u8("request codec"))
+	req.TopK = int(c.u32("request topk"))
+	req.Done = flags&reqFlagDone != 0
+	req.TraceID, req.SpanID = 0, 0
+	req.Anchor32 = nil
+	if req.Done {
+		req.Local = optim.LocalConfig{}
+		req.Anchor = req.Anchor[:0]
+		return c.done()
+	}
+	if !req.Codec.Valid() {
+		return errFrame("unknown codec %d", req.Codec)
+	}
+	req.Local = optim.LocalConfig{
+		Eta:      c.f64("config eta"),
+		Mu:       c.f64("config mu"),
+		ClipNorm: c.f64("config clip"),
+		Tau:      int(c.u32("config tau")),
+		Batch:    int(c.u32("config batch")),
+	}
+	req.Local.Estimator = optim.Estimator(c.u8("config estimator"))
+	req.Local.Return = optim.ReturnPolicy(c.u8("config return"))
+	req.Local.Schedule = optim.EtaSchedule(c.u8("config schedule"))
+	if flags&reqFlagTrace != 0 {
+		req.TraceID = c.u64("trace id")
+		req.SpanID = c.u64("span id")
+	}
+	var err error
+	req.Anchor, err = unmarshalVecDown(&c, req.Codec, req.Anchor)
+	if err != nil {
+		return err
+	}
+	return c.done()
+}
+
+// unmarshalVecDown decodes a downlink vector into dst (reused).
+func unmarshalVecDown(c *wireCursor, codec Codec, dst []float64) ([]float64, error) {
+	dim := int(c.u32("vector dim"))
+	if c.err != nil {
+		return dst, c.err
+	}
+	if need := vecDownBodySize(codec, dim); c.off+need > len(c.b) {
+		return dst, errFrame("vector body short: dim %d needs %d bytes, have %d", dim, need, len(c.b)-c.off)
+	}
+	dst = ensureF64(dst, dim)
+	switch codec {
+	case CodecFloat32:
+		for i := range dst {
+			dst[i] = float64(c.f32("vector f32"))
+		}
+	case CodecInt16:
+		lo, step := c.f64("quant lo"), c.f64("quant step")
+		for i := range dst {
+			dst[i] = dequantLevel(int(c.u16("vector i16")), lo, step)
+		}
+	case CodecInt8, CodecTopK:
+		lo, step := c.f64("quant lo"), c.f64("quant step")
+		for i := range dst {
+			dst[i] = dequantLevel(int(c.u8("vector i8")), lo, step)
+		}
+	default:
+		for i := range dst {
+			dst[i] = c.f64("vector f64")
+		}
+	}
+	return dst, c.err
+}
+
+// unmarshalReply decodes a RoundReply payload into rep, overwriting every
+// field. ref is the reference anchor for the delta codecs (the coordinator
+// passes codecReference's output); rep.Local receives the reconstructed
+// full-precision model, reusing its backing array.
+func unmarshalReply(p []byte, rep *RoundReply, ref []float64) error {
+	c := wireCursor{b: p}
+	rep.ClientID = int(c.i32("reply client id"))
+	rep.Round = int(c.u32("reply round"))
+	flags := c.u8("reply flags")
+	rep.Codec = Codec(c.u8("reply codec"))
+	rep.GradEvals = c.i64("reply grad evals")
+	rep.SolveSeconds = c.f64("reply solve seconds")
+	rep.Err = ""
+	rep.Spans = nil
+	rep.Local32 = nil
+	if flags&repFlagErr != 0 {
+		n := int(c.uvarint("error length"))
+		rep.Err = string(c.take(n, "error text"))
+		rep.Local = rep.Local[:0]
+		return c.done()
+	}
+	if !rep.Codec.Valid() {
+		return errFrame("unknown codec %d", rep.Codec)
+	}
+	nspans := int(c.uvarint("span count"))
+	if nspans > 0 {
+		if nspans > len(c.b) { // each span is well over one byte
+			return errFrame("span count %d exceeds payload", nspans)
+		}
+		rep.Spans = make([]trace.WireSpan, nspans)
+		for i := range rep.Spans {
+			s := &rep.Spans[i]
+			s.ID = c.uvarint("span id")
+			s.Parent = c.uvarint("span parent")
+			n := int(c.uvarint("span name length"))
+			s.Name = string(c.take(n, "span name"))
+			s.Start = c.f64("span start")
+			s.End = c.f64("span end")
+		}
+		if c.err != nil {
+			return c.err
+		}
+	}
+	var err error
+	rep.Local, err = unmarshalVecUp(&c, rep.Codec, rep.Local, ref)
+	if err != nil {
+		return err
+	}
+	return c.done()
+}
+
+// unmarshalVecUp decodes an uplink vector into dst, reconstructing
+// ref+delta under the delta codecs.
+func unmarshalVecUp(c *wireCursor, codec Codec, dst, ref []float64) ([]float64, error) {
+	dim := int(c.u32("vector dim"))
+	if c.err != nil {
+		return dst, c.err
+	}
+	needRef := codec == CodecInt16 || codec == CodecInt8 || codec == CodecTopK
+	if needRef && len(ref) != dim {
+		return dst, errFrame("delta codec %v needs a %d-dim reference anchor, have %d", codec, dim, len(ref))
+	}
+	switch codec {
+	case CodecFloat32, CodecFloat64:
+		if need := vecDownBodySize(codec, dim); c.off+need > len(c.b) {
+			return dst, errFrame("vector body short: dim %d needs %d bytes, have %d", dim, need, len(c.b)-c.off)
+		}
+		dst = ensureF64(dst, dim)
+		if codec == CodecFloat32 {
+			for i := range dst {
+				dst[i] = float64(c.f32("vector f32"))
+			}
+		} else {
+			for i := range dst {
+				dst[i] = c.f64("vector f64")
+			}
+		}
+	case CodecInt16, CodecInt8:
+		if need := vecDownBodySize(codec, dim); c.off+need > len(c.b) {
+			return dst, errFrame("vector body short: dim %d needs %d bytes, have %d", dim, need, len(c.b)-c.off)
+		}
+		dst = ensureF64(dst, dim)
+		lo, step := c.f64("quant lo"), c.f64("quant step")
+		if codec == CodecInt16 {
+			for i := range dst {
+				dst[i] = ref[i] + dequantLevel(int(c.u16("vector i16")), lo, step)
+			}
+		} else {
+			for i := range dst {
+				dst[i] = ref[i] + dequantLevel(int(c.u8("vector i8")), lo, step)
+			}
+		}
+	case CodecTopK:
+		k := int(c.u32("topk count"))
+		if c.err != nil {
+			return dst, c.err
+		}
+		if k > dim || c.off+16+5*k > len(c.b) {
+			return dst, errFrame("topk body short or k %d > dim %d", k, dim)
+		}
+		dst = ensureF64(dst, dim)
+		copy(dst, ref)
+		lo, step := c.f64("quant lo"), c.f64("quant step")
+		idx := make([]int, k)
+		for i := range idx {
+			j := int(c.u32("topk index"))
+			if j < 0 || j >= dim {
+				return dst, errFrame("topk index %d outside dim %d", j, dim)
+			}
+			idx[i] = j
+		}
+		for _, j := range idx {
+			dst[j] += dequantLevel(int(c.u8("topk value")), lo, step)
+		}
+	default:
+		return dst, errFrame("unknown codec %d", codec)
+	}
+	return dst, c.err
+}
+
+// ---------------------------------------------------------------------------
+// Connection IO
+
+// frameWriter writes whole frames with a single Write call (one syscall
+// per message, and the chaos/counting conn wrappers observe each message
+// atomically).
+type frameWriter struct{ w io.Writer }
+
+func (fw *frameWriter) writeFrame(frame []byte) error {
+	_, err := fw.w.Write(frame)
+	return err
+}
+
+// frameReader reads frames off a buffered connection into a reusable
+// payload buffer (valid until the next call).
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func (fr *frameReader) next() (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != frameMagic {
+		return 0, nil, errFrame("bad magic 0x%02x", hdr[0])
+	}
+	n := int(uint32(hdr[2]) | uint32(hdr[3])<<8 | uint32(hdr[4])<<16 | uint32(hdr[5])<<24)
+	if n > maxFramePayload {
+		return 0, nil, errFrame("payload of %d bytes exceeds the %d limit", n, maxFramePayload)
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		return 0, nil, err
+	}
+	return hdr[1], fr.buf, nil
+}

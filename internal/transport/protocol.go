@@ -1,9 +1,10 @@
 // Package transport turns the federated runtime into a real distributed
 // system: a Coordinator (server) drives synchronous rounds over TCP against
-// Worker processes (devices), exchanging gob-encoded messages. Devices are
-// seeded exactly like the in-process simulator's, so a distributed run
-// reproduces an in-process run bit-for-bit given the same seeds — which the
-// integration tests assert.
+// Worker processes (devices), exchanging length-prefixed binary frames (see
+// frame.go; legacy gob peers are auto-detected per connection and still
+// served). Devices are seeded exactly like the in-process simulator's, so a
+// distributed run reproduces an in-process run bit-for-bit given the same
+// seeds — which the integration tests assert.
 //
 // The runtime degrades gracefully under worker failures, matching the
 // paper's partial-participation model (a round aggregates whichever
@@ -33,8 +34,13 @@ type Hello struct {
 
 // RoundRequest is broadcast by the coordinator at each global iteration.
 // Done=true tells the worker to exit (other fields are then ignored).
-// Exactly one of Anchor/Anchor32 is set, per Codec; the worker must reply
-// in the same codec.
+// The worker must reply in the same codec — the coordinator enforces this
+// (see exchange) and treats a mismatched reply as a worker fault rather
+// than silently dequantizing it.
+//
+// On the framed wire, Anchor carries the (dequantized) anchor and Anchor32
+// is never set; on the legacy gob wire exactly one of Anchor/Anchor32 is
+// set, per Codec.
 type RoundRequest struct {
 	Round    int
 	Codec    Codec
@@ -42,6 +48,10 @@ type RoundRequest struct {
 	Anchor32 []float32
 	Local    optim.LocalConfig
 	Done     bool
+	// TopK is the number of delta coordinates to keep under CodecTopK
+	// (ignored by the other codecs). The coordinator chooses it per round
+	// from SetTopKFrac so both peers agree on the sparsity budget.
+	TopK int
 	// TraceID/SpanID propagate the coordinator's trace context: SpanID is
 	// the round span a tracing worker parents its solve spans under.
 	// TraceID == 0 means tracing is off and the worker records nothing.
@@ -58,8 +68,13 @@ func (r *RoundRequest) AnchorVec() []float64 { return dequantize(r.Anchor, r.Anc
 // GradEvals is int64 end to end so cumulative counts survive 32-bit
 // platforms unnarrowed.
 type RoundReply struct {
-	ClientID  int
-	Round     int
+	ClientID int
+	Round    int
+	// Codec is the codec the reply is encoded in. The coordinator rejects a
+	// reply whose codec differs from the round request's (an application-
+	// level fault, retried per FaultPolicy). Legacy gob peers leave it at
+	// CodecFloat64/implicit; the gob exchange infers it from Local/Local32.
+	Codec     Codec
 	Local     []float64
 	Local32   []float32
 	GradEvals int64

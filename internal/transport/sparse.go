@@ -68,9 +68,11 @@ func (s *SparseVec) AddTo(dst []float64, scale float64) error {
 	return nil
 }
 
-// WireSize returns the approximate encoded size in bytes (4 per index,
-// 8 per value), for bandwidth accounting comparisons.
-func (s *SparseVec) WireSize() int { return 4*len(s.Indices) + 8*len(s.Values) }
+// WireSize returns the exact framed encoding size in bytes: the uplink
+// topk layout is dim(u32) k(u32) lo(f64) step(f64), then a u32 index and
+// an int8 level per kept coordinate (see frame.go). The RoundStats
+// wire-byte accounting tests assert against this number.
+func (s *SparseVec) WireSize() int { return 24 + 5*len(s.Indices) }
 
 // SparsifyDelta compresses an update as TopK(local − anchor): deltas
 // concentrate mass in few coordinates far better than raw models, and the
@@ -92,7 +94,9 @@ func ApplyDelta(dst, anchor []float64, delta *SparseVec) error {
 	if len(dst) != len(anchor) || delta.Dim != len(anchor) {
 		return fmt.Errorf("transport: ApplyDelta dimension mismatch")
 	}
-	if &dst[0] != &anchor[0] {
+	// Guard len > 0: indexing [0] of a zero-length slice panics, and a
+	// zero-dim ApplyDelta is a valid no-op.
+	if len(dst) > 0 && &dst[0] != &anchor[0] {
 		copy(dst, anchor)
 	}
 	return delta.AddTo(dst, 1)

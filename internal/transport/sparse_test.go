@@ -22,7 +22,9 @@ func TestTopKKeepsLargest(t *testing.T) {
 			t.Fatalf("Dense = %v, want %v", dense, want)
 		}
 	}
-	if sv.WireSize() != 2*4+2*8 {
+	// Exact framed size: dim+k+lo+step header, then u32 index + int8 level
+	// per kept coordinate.
+	if sv.WireSize() != 24+5*2 {
 		t.Fatalf("WireSize = %d", sv.WireSize())
 	}
 }
@@ -84,7 +86,7 @@ func TestSparsifyAndApplyDelta(t *testing.T) {
 			t.Fatalf("reconstruction differs at %d", i)
 		}
 	}
-	// Compression: 5 pairs vs 100 floats.
+	// Compression: 5 framed pairs vs 100 floats.
 	if sv.WireSize() >= dim*8/10 {
 		t.Fatalf("no meaningful compression: %d bytes", sv.WireSize())
 	}
@@ -96,6 +98,73 @@ func TestSparsifyAndApplyDelta(t *testing.T) {
 		if math.Abs(anchor[i]-local[i]) > 1e-15 {
 			t.Fatal("in-place apply broken")
 		}
+	}
+}
+
+// Regression: ApplyDelta indexed dst[0]/anchor[0] unconditionally in its
+// aliasing check, panicking on zero-length vectors. Exercise the whole
+// sparse API at dim 0 and dim 1.
+func TestSparseZeroAndOneDim(t *testing.T) {
+	// dim 0: every operation is a valid no-op.
+	sv, err := TopK(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Dim != 0 || len(sv.Indices) != 0 {
+		t.Fatalf("TopK(nil) = %+v", sv)
+	}
+	if got := sv.Dense(); len(got) != 0 {
+		t.Fatalf("Dense = %v", got)
+	}
+	if err := sv.AddTo(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sv, err = SparsifyDelta(nil, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDelta(nil, nil, sv); err != nil {
+		t.Fatalf("zero-dim ApplyDelta: %v", err)
+	}
+	if err := ApplyDelta([]float64{}, []float64{}, sv); err != nil {
+		t.Fatalf("empty-slice ApplyDelta: %v", err)
+	}
+	if sv.WireSize() != 24 {
+		t.Fatalf("zero-dim WireSize = %d", sv.WireSize())
+	}
+
+	// dim 1, both the aliased and the non-aliased dst path.
+	anchor := []float64{2.5}
+	local := []float64{4.0}
+	sv, err = SparsifyDelta(local, anchor, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 1)
+	if err := ApplyDelta(got, anchor, sv); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4.0 {
+		t.Fatalf("reconstructed %v, want 4", got[0])
+	}
+	if err := ApplyDelta(anchor, anchor, sv); err != nil {
+		t.Fatal(err)
+	}
+	if anchor[0] != 4.0 {
+		t.Fatalf("in-place reconstructed %v, want 4", anchor[0])
+	}
+	one, err := TopK([]float64{-7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := one.Dense(); len(d) != 1 || d[0] != -7 {
+		t.Fatalf("1-element Dense = %v", d)
+	}
+	dst := []float64{1}
+	if err := one.AddTo(dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 1-14 {
+		t.Fatalf("AddTo = %v", dst[0])
 	}
 }
 

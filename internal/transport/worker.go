@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"io"
@@ -18,14 +19,37 @@ import (
 // coordinator, announces its shard size, and serves rounds until told to
 // stop. Its RNG stream derivation matches core.NewDevice, so a distributed
 // run is bit-identical to the in-process simulator with the same seed.
+//
+// Workers speak the framed binary protocol by default; NewGobWorker builds
+// a legacy gob peer (the coordinator auto-detects the format per
+// connection).
 type Worker struct {
 	id     int
 	device *core.Device
 	shard  *data.Dataset
 	addr   string
 	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
+
+	// Framed wire (the default). req/wbuf/dscratch are reusable
+	// decode/encode/delta buffers so the steady-state round loop does not
+	// allocate for the wire.
+	fr       frameReader
+	fw       frameWriter
+	req      RoundRequest
+	wbuf     []byte
+	dscratch []float64
+
+	// Legacy gob wire, selected by NewGobWorker.
+	gobWire bool
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+
+	// forced, when forceOn, is the codec the worker replies in regardless
+	// of what the request asked for — a deliberately wrong configuration
+	// knob (fedclient -codec) whose mismatched replies the coordinator
+	// rejects, proving the same-codec contract is enforced end to end.
+	forced  Codec
+	forceOn bool
 
 	// Chaos injection (nil for plain workers). cconn is the chaos wrapper
 	// around conn when sched != nil, kept so Delay events can arm it.
@@ -55,6 +79,12 @@ type Worker struct {
 // context (RoundRequest.TraceID != 0). Call before Serve.
 func (w *Worker) EnableTrace() { w.rec = trace.NewRecorder() }
 
+// ForceCodec pins the worker's reply codec instead of following each
+// request's. This is intentionally allowed to disagree with the
+// coordinator, which then rejects the replies — the knob exists to
+// configure (and test) exactly that rejection. Call before Serve.
+func (w *Worker) ForceCodec(c Codec) { w.forced, w.forceOn = c, true }
+
 // NewWorker connects to addr and performs the Hello handshake. The same
 // call is the rejoin path: a worker restarted after a crash dials the
 // coordinator again with its old client ID and shard, and is adopted back
@@ -63,7 +93,15 @@ func (w *Worker) EnableTrace() { w.rec = trace.NewRecorder() }
 // equivalent to, not bit-identical with, an uninterrupted one (matching
 // the documented checkpoint-resume semantics).
 func NewWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64) (*Worker, error) {
-	return newWorker(addr, id, shard, m, seed, nil)
+	return newWorker(addr, id, shard, m, seed, nil, false)
+}
+
+// NewGobWorker is NewWorker on the legacy gob wire, kept as a measurable
+// baseline and for compatibility with older coordinators. The gob wire
+// carries only the float codecs; an int/topk request is answered with an
+// application-level error.
+func NewGobWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64) (*Worker, error) {
+	return newWorker(addr, id, shard, m, seed, nil, true)
 }
 
 // NewChaosWorker is NewWorker with a fault schedule: before solving each
@@ -78,16 +116,17 @@ func NewWorker(addr string, id int, shard *data.Dataset, m models.Model, seed in
 // 25ms apart) so Crash and Partition events are per-round outages rather
 // than permanent losses; tune with SetRejoin.
 func NewChaosWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, sched *chaos.Schedule) (*Worker, error) {
-	return newWorker(addr, id, shard, m, seed, sched)
+	return newWorker(addr, id, shard, m, seed, sched, false)
 }
 
-func newWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, sched *chaos.Schedule) (*Worker, error) {
+func newWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, sched *chaos.Schedule, gobWire bool) (*Worker, error) {
 	w := &Worker{
-		id:     id,
-		device: core.NewDevice(id, shard, m, seed),
-		shard:  shard,
-		addr:   addr,
-		sched:  sched,
+		id:      id,
+		device:  core.NewDevice(id, shard, m, seed),
+		shard:   shard,
+		addr:    addr,
+		sched:   sched,
+		gobWire: gobWire,
 	}
 	if sched != nil {
 		w.flaked = make(map[int]bool)
@@ -109,9 +148,9 @@ func (w *Worker) SetRejoin(attempts int, backoff time.Duration) {
 }
 
 // dial (re)establishes the connection and performs the Hello handshake.
-// The chaos wrapper, when present, must be installed before the gob
-// encoders are built: gob streams carry type definitions once, so
-// swapping the writer mid-stream would corrupt the protocol.
+// The chaos wrapper, when present, must be installed before the wire
+// encoders are built: both formats assume a single uninterrupted stream,
+// so swapping the writer mid-stream would corrupt the protocol.
 func (w *Worker) dial() error {
 	conn, err := net.Dial("tcp", w.addr)
 	if err != nil {
@@ -123,13 +162,62 @@ func (w *Worker) dial() error {
 		w.cconn = chaos.NewConn(conn)
 		w.conn = w.cconn
 	}
-	w.enc = gob.NewEncoder(w.conn)
-	w.dec = gob.NewDecoder(w.conn)
-	if err := w.enc.Encode(&Hello{ClientID: w.id, NumSamples: w.shard.N()}); err != nil {
+	if w.gobWire {
+		w.enc = gob.NewEncoder(w.conn)
+		w.dec = gob.NewDecoder(w.conn)
+		if err := w.enc.Encode(&Hello{ClientID: w.id, NumSamples: w.shard.N()}); err != nil {
+			conn.Close()
+			return protocolError("hello", err)
+		}
+		return nil
+	}
+	w.fw = frameWriter{w: w.conn}
+	w.fr = frameReader{r: bufio.NewReader(w.conn)}
+	w.wbuf = marshalHello(w.wbuf[:0], &Hello{ClientID: w.id, NumSamples: w.shard.N()})
+	if err := w.fw.writeFrame(w.wbuf); err != nil {
 		conn.Close()
 		return protocolError("hello", err)
 	}
 	return nil
+}
+
+// recvRequest reads the next round request off the wire into w.req
+// (overwriting every field on the framed wire; the gob path decodes into a
+// zeroed struct to match gob's merge-into semantics).
+func (w *Worker) recvRequest() error {
+	if w.gobWire {
+		w.req = RoundRequest{}
+		return w.dec.Decode(&w.req)
+	}
+	typ, payload, err := w.fr.next()
+	if err != nil {
+		return err
+	}
+	if typ != msgRoundRequest {
+		return errFrame("expected round request, got frame type %d", typ)
+	}
+	return unmarshalRequest(payload, &w.req)
+}
+
+// sendReply writes rep in the connection's wire format. ref is the decoded
+// request anchor, the delta codecs' reference (unused by gob). The gob
+// wire carries only the float codecs; anything else is downgraded to an
+// application-level error reply the coordinator will reject and retry.
+func (w *Worker) sendReply(rep *RoundReply, ref []float64) error {
+	if w.gobWire {
+		if rep.Err == "" {
+			switch rep.Codec {
+			case CodecFloat64, CodecFloat32:
+				rep.Local, rep.Local32 = quantize(rep.Codec, rep.Local)
+			default:
+				*rep = RoundReply{ClientID: rep.ClientID, Round: rep.Round,
+					Err: "codec " + rep.Codec.String() + " is not supported on the gob wire"}
+			}
+		}
+		return w.enc.Encode(rep)
+	}
+	w.wbuf, w.dscratch = marshalReply(w.wbuf[:0], rep, ref, w.dscratch, w.req.TopK)
+	return w.fw.writeFrame(w.wbuf)
 }
 
 // Serve processes round requests until the coordinator sends Done or the
@@ -150,10 +238,10 @@ func (w *Worker) Serve() error {
 // should continue.
 func (w *Worker) serveConn() (rejoin bool, err error) {
 	for {
-		var req RoundRequest
-		if err := w.dec.Decode(&req); err != nil {
+		if err := w.recvRequest(); err != nil {
 			return w.lost(err)
 		}
+		req := &w.req
 		if req.Done {
 			return false, nil
 		}
@@ -164,6 +252,10 @@ func (w *Worker) serveConn() (rejoin bool, err error) {
 		if w.sched != nil {
 			ev, chaotic = w.sched.ActionFor(w.id, req.Round)
 		}
+		// anchor doubles as the delta codecs' reference: the framed wire
+		// fills req.Anchor with the dequantized anchor — by construction
+		// bit-identical to the coordinator's codecReference output.
+		anchor := req.AnchorVec()
 		if chaotic {
 			switch ev.Kind {
 			case chaos.Crash, chaos.Partition:
@@ -176,7 +268,7 @@ func (w *Worker) serveConn() (rejoin bool, err error) {
 				if !w.flaked[req.Round] {
 					w.flaked[req.Round] = true
 					rep := RoundReply{ClientID: w.id, Round: req.Round, Err: "chaos: injected flake"}
-					if err := w.enc.Encode(&rep); err != nil {
+					if err := w.sendReply(&rep, anchor); err != nil {
 						return w.lost(err)
 					}
 					continue
@@ -186,7 +278,10 @@ func (w *Worker) serveConn() (rejoin bool, err error) {
 			}
 		}
 
-		rep := RoundReply{ClientID: w.id, Round: req.Round}
+		rep := RoundReply{ClientID: w.id, Round: req.Round, Codec: req.Codec}
+		if w.forceOn {
+			rep.Codec = w.forced
+		}
 		traceOn := w.rec != nil && req.TraceID != 0
 		func() {
 			defer func() {
@@ -207,7 +302,7 @@ func (w *Worker) serveConn() (rejoin bool, err error) {
 				defer w.device.Solver.SetPhaseHook(nil)
 			}
 			start := time.Now()
-			local := w.device.RunRound(req.AnchorVec(), req.Local)
+			local := w.device.RunRound(anchor, req.Local)
 			rep.SolveSeconds = time.Since(start).Seconds()
 			if traceOn {
 				solve.End()
@@ -218,10 +313,13 @@ func (w *Worker) serveConn() (rejoin bool, err error) {
 				w.sched.CorruptVec(ev, cp)
 				local = cp
 			}
-			rep.Local, rep.Local32 = quantize(req.Codec, local)
+			// Full precision here; sendReply encodes per rep.Codec (the
+			// framed marshaller quantizes, the gob path falls back to
+			// quantize()).
+			rep.Local = local
 			rep.GradEvals = w.device.GradEvals()
 		}()
-		if err := w.enc.Encode(&rep); err != nil {
+		if err := w.sendReply(&rep, anchor); err != nil {
 			return w.lost(err)
 		}
 	}
