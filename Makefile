@@ -5,6 +5,11 @@ GO ?= go
 # wedging CI at the default 10-minute package deadline.
 TESTFLAGS ?= -timeout 120s
 
+# The race detector multiplies the figure-reproduction tests in the root
+# package by ~10x (the full root suite runs minutes under -race), so the
+# race-enabled targets carry their own, larger guard.
+RACE_TESTFLAGS ?= -timeout 900s
+
 .PHONY: build test vet fmt race check bench bench-all benchgate chaos trace-demo fuzz
 
 build:
@@ -25,7 +30,7 @@ fmt:
 # and the TCP coordinator (including the transport fault-injection and
 # rejoin tests) are the packages that exercise real concurrency.
 race:
-	$(GO) test -race $(TESTFLAGS) ./...
+	$(GO) test -race $(RACE_TESTFLAGS) ./...
 
 # check is the CI gate: formatting, static analysis, the race-enabled suite,
 # and the benchmark regression gate against the committed snapshot. The
@@ -58,7 +63,7 @@ trace-demo:
 #   make chaos CHAOS_SOAK_ROUNDS=200
 CHAOS_SOAK_ROUNDS ?=
 chaos:
-	CHAOS_SOAK_ROUNDS=$(CHAOS_SOAK_ROUNDS) $(GO) test -race $(TESTFLAGS) -count=1 \
+	CHAOS_SOAK_ROUNDS=$(CHAOS_SOAK_ROUNDS) $(GO) test -race $(RACE_TESTFLAGS) -count=1 \
 		-run 'Chaos|Straggler|MinReport' ./internal/chaos/ ./internal/engine/ ./internal/transport/
 
 # The recorded benchmark set: the engine/ablation hot paths plus the batched

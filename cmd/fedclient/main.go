@@ -33,9 +33,19 @@ func main() {
 		spans     = flag.Bool("trace-spans", false, "record solve spans and ship them to a tracing server")
 		codecStr  = flag.String("codec", "", "pin the reply codec (float64|float32|int16|int8|topk-delta); default: follow the server's round requests. A pin that disagrees with the server is rejected per round, not silently dequantized")
 		gobWire   = flag.Bool("gob-wire", false, "speak the legacy gob protocol instead of the framed wire (compatibility/baseline runs)")
+		fanout    = flag.Int("tree-fanout", 0, "run as aggregation-tree shard node #id of this many (0 = plain single-device worker); must match the server's -tree-fanout")
+		virtDev   = flag.Int("virtual-devices", 0, "total virtual devices across the tree (must match the server's -virtual-devices)")
 	)
 	flag.Parse()
 
+	if *fanout > 0 {
+		runTreeNode(*addr, *id, *fanout, *virtDev, *dataset, *samples, *seed,
+			*chaosPath, *rejoin, *rejoinGap, *spans, *codecStr, *gobWire)
+		return
+	}
+	if *virtDev > 0 {
+		fatal(fmt.Errorf("-virtual-devices needs -tree-fanout"))
+	}
 	if *id < 0 || *id >= *devices {
 		fatal(fmt.Errorf("id %d outside [0,%d)", *id, *devices))
 	}
@@ -88,6 +98,60 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("fedclient %d: done\n", *id)
+}
+
+// runTreeNode runs the process as aggregation-tree shard node #id: it
+// regenerates the full virtual-device partition deterministically, keeps the
+// contiguous slice [id·M/N, (id+1)·M/N), and streams one weighted partial
+// sum per round to the tree coordinator.
+func runTreeNode(addr string, id, fanout, virtDev int, dataset string, samples int, seed int64,
+	chaosPath string, rejoin int, rejoinGap time.Duration, spans bool, codecStr string, gobWire bool) {
+	if id < 0 || id >= fanout {
+		fatal(fmt.Errorf("id %d outside [0,%d)", id, fanout))
+	}
+	if virtDev < fanout {
+		fatal(fmt.Errorf("-virtual-devices (%d) must be >= -tree-fanout (%d)", virtDev, fanout))
+	}
+	if gobWire {
+		fatal(fmt.Errorf("the aggregation tree runs on the framed wire; drop -gob-wire"))
+	}
+	if codecStr != "" && codecStr != "float64" {
+		fatal(fmt.Errorf("the aggregation tree is float64-only; drop -codec %s", codecStr))
+	}
+	task, err := clisetup.Task(dataset, "softmax", virtDev, samples, 1, seed)
+	if err != nil {
+		fatal(err)
+	}
+	lo, hi := id*virtDev/fanout, (id+1)*virtDev/fanout
+	shards := task.Part.Clients[lo:hi]
+	fmt.Printf("fedclient %d: tree shard of %d virtual devices [%d,%d), dialing %s\n", id, hi-lo, lo, hi, addr)
+
+	var node *transport.AggregatorNode
+	if chaosPath != "" {
+		sched, err := chaos.Load(chaosPath)
+		if err != nil {
+			fatal(err)
+		}
+		node, err = transport.NewChaosAggregatorNode(addr, id, lo, shards, task.Model, seed, sched)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		node, err = transport.NewAggregatorNode(addr, id, lo, shards, task.Model, seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if rejoin >= 0 {
+		node.SetRejoin(rejoin, rejoinGap)
+	}
+	if spans {
+		node.EnableTrace()
+	}
+	if err := node.Serve(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fedclient %d: done\n", id)
 }
 
 func fatal(err error) {

@@ -57,14 +57,41 @@ func main() {
 		minRep   = flag.Int("min-report", 0, "cut each round once this many workers reported (0 = wait for everyone)")
 		codecStr = flag.String("codec", "float64", "wire codec: float64 | float32 | int16 | int8 | topk-delta")
 		topkFrac = flag.Float64("topk-frac", transport.DefaultTopKFraction, "fraction of delta coordinates kept per round under -codec topk-delta")
+		fanout   = flag.Int("tree-fanout", 0, "run an aggregation tree over this many shard nodes instead of flat workers (0 = flat)")
+		virtDev  = flag.Int("virtual-devices", 0, "total virtual devices the tree drives, split contiguously across the shard nodes (tree mode only)")
+		actProb  = flag.Float64("activate-prob", 0, "per-device per-round activation probability (0 = deterministic selection via -fraction)")
 	)
 	flag.Parse()
 	codec, err := transport.ParseCodec(*codecStr)
 	if err != nil {
 		fatal(err)
 	}
+	// Inverted comparisons so NaN is rejected too.
+	if !(*fraction > 0 && *fraction <= 1) {
+		fatal(fmt.Errorf("-fraction must be in (0,1], got %v", *fraction))
+	}
+	// Checked again by SetTopKFrac, but fail here before blocking on worker
+	// connections.
+	if !(*topkFrac > 0 && *topkFrac <= 1) {
+		fatal(fmt.Errorf("-topk-frac must be in (0,1], got %v", *topkFrac))
+	}
+	if !(*actProb >= 0 && *actProb <= 1) {
+		fatal(fmt.Errorf("-activate-prob must be in [0,1], got %v", *actProb))
+	}
 
-	task, err := clisetup.Task(*dataset, "softmax", *devices, *samples, 1, *seed)
+	// In tree mode the data is partitioned over the VIRTUAL device cohort;
+	// each fedclient shard node regenerates its contiguous slice of it.
+	nDev := *devices
+	if *fanout > 0 {
+		if *virtDev < *fanout {
+			fatal(fmt.Errorf("-virtual-devices (%d) must be >= -tree-fanout (%d)", *virtDev, *fanout))
+		}
+		nDev = *virtDev
+	} else if *virtDev > 0 {
+		fatal(fmt.Errorf("-virtual-devices needs -tree-fanout"))
+	}
+
+	task, err := clisetup.Task(*dataset, "softmax", nDev, *samples, 1, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,16 +105,29 @@ func main() {
 	cfg.DropoutProb = *dropout
 	cfg.RoundDeadline = *deadline
 	cfg.MinReport = *minRep
+	cfg.ActivateProb = *actProb
 
-	fmt.Printf("fedserver: waiting for %d workers on %s …\n", *devices, *addr)
-	coord, err := transport.NewCoordinator(*addr, *devices, *timeout)
+	var coord *transport.Coordinator
+	if *fanout > 0 {
+		fmt.Printf("fedserver: waiting for %d tree shard nodes on %s (%d virtual devices) …\n", *fanout, *addr, *virtDev)
+		coord, err = transport.NewTreeCoordinator(*addr, *fanout, *timeout)
+	} else {
+		fmt.Printf("fedserver: waiting for %d workers on %s …\n", *devices, *addr)
+		coord, err = transport.NewCoordinator(*addr, *devices, *timeout)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	defer coord.Close()
 	coord.SetCodec(codec)
-	coord.SetTopKFrac(*topkFrac)
-	fmt.Printf("fedserver: all workers connected (weights %v), wire codec %v\n", coord.Weights(), codec)
+	if err := coord.SetTopKFrac(*topkFrac); err != nil {
+		fatal(err)
+	}
+	if *fanout > 0 {
+		fmt.Printf("fedserver: all %d shard nodes connected (%d virtual devices), wire codec %v\n", *fanout, coord.VirtualDevices(), codec)
+	} else {
+		fmt.Printf("fedserver: all workers connected (weights %v), wire codec %v\n", coord.Weights(), codec)
+	}
 	coord.SetFaultPolicy(transport.FaultPolicy{
 		MaxRetries:      *retries,
 		RetryBackoff:    *backoff,
@@ -102,7 +142,12 @@ func main() {
 	if task.InitW != nil {
 		copy(w0, task.InitW)
 	}
-	eng, err := coord.Engine(w0, cfg, task.Model, task.Part.Clients)
+	var eng *engine.Engine
+	if *fanout > 0 {
+		eng, err = coord.TreeEngine(w0, cfg, task.Model)
+	} else {
+		eng, err = coord.Engine(w0, cfg, task.Model, task.Part.Clients)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -175,9 +220,15 @@ func main() {
 		fatal(err)
 	}
 	last, _ := series.Last()
-	fmt.Fprintf(os.Stderr, "fedserver: %d rounds in %s, final loss %.4f, acc %.2f%%, %d participants last round, %d failures total\n",
+	unit := "participants"
+	if *fanout > 0 {
+		// The engine's cohort is the shard nodes; device-level totals are in
+		// the per-round stats (-trace / -admin).
+		unit = "shards reported"
+	}
+	fmt.Fprintf(os.Stderr, "fedserver: %d rounds in %s, final loss %.4f, acc %.2f%%, %d %s last round, %d failures total\n",
 		*rounds, time.Since(start).Round(time.Millisecond), last.TrainLoss, last.TestAcc*100,
-		last.Participants, series.TotalFailed())
+		last.Participants, unit, series.TotalFailed())
 	if summary != nil {
 		sent, recv := coord.Bandwidth()
 		fmt.Fprintf(os.Stderr, "fedserver: %d bytes sent, %d received over the run (codec %v)\n", sent, recv, codec)

@@ -62,8 +62,19 @@ func main() {
 		spanLog   = flag.String("span-log", "", "write the span trace as JSONL to this path")
 		codecStr  = flag.String("codec", "", "report wire-byte estimates for this codec (float64|float32|int16|int8|topk-delta); the in-process run itself is exact")
 		topkFrac  = flag.Float64("topk-frac", transport.DefaultTopKFraction, "fraction of delta coordinates kept under -codec topk-delta")
+		actProb   = flag.Float64("activate-prob", 0, "per-device per-round activation probability (0 = deterministic selection via -fraction)")
 	)
 	flag.Parse()
+	// Inverted comparisons so NaN is rejected too.
+	if !(*fraction > 0 && *fraction <= 1) {
+		fatal(fmt.Errorf("-fraction must be in (0,1], got %v", *fraction))
+	}
+	if !(*topkFrac > 0 && *topkFrac <= 1) {
+		fatal(fmt.Errorf("-topk-frac must be in (0,1], got %v", *topkFrac))
+	}
+	if !(*actProb >= 0 && *actProb <= 1) {
+		fatal(fmt.Errorf("-activate-prob must be in [0,1], got %v", *actProb))
+	}
 
 	task, err := clisetup.Task(*dataset, *model, *devices, *samples, *widthDiv, *seed)
 	if err != nil {
@@ -82,6 +93,7 @@ func main() {
 	cfg.SecureAgg = *secure
 	cfg.RoundDeadline = *deadline
 	cfg.MinReport = *minReport
+	cfg.ActivateProb = *actProb
 
 	// Ctrl-C cancels between rounds; with -checkpoint the run is resumable.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

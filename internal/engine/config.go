@@ -41,8 +41,20 @@ type Config struct {
 	// because every device owns an independent RNG stream.
 	Parallel bool
 	// ClientFraction samples this fraction of devices per round (default 1,
-	// as in the paper, where all devices participate).
+	// as in the paper, where all devices participate). An explicit 0 is a
+	// configuration error — it would select no devices — and is rejected by
+	// Validate; the zero value of an unset Config still defaults to 1
+	// because New normalizes defaults before validating.
 	ClientFraction float64
+	// ActivateProb, when positive, switches selection to probabilistic
+	// per-device activation (Rostami & Kia, arXiv:2210.14362): each device
+	// independently joins the round with this probability, drawn from a
+	// counter-based hash of (Seed, round, device) rather than the server RNG
+	// stream. The draw is computable by any node that knows the seed and the
+	// round number, which is what lets aggregation-tree shards evaluate
+	// their own activation sets without coordination. Mutually exclusive
+	// with ClientFraction sampling (< 1) and SecureAgg. 0 disables.
+	ActivateProb float64
 	// DropoutProb is the probability that a participating device fails to
 	// report its round (battery, network loss). The server aggregates over
 	// the survivors, reweighting by their data sizes; if every device
@@ -94,10 +106,20 @@ func (c Config) Validate() error {
 	if c.EvalEvery < 0 {
 		return fmt.Errorf("engine: EvalEvery must be ≥ 0, got %d", c.EvalEvery)
 	}
-	if c.ClientFraction < 0 || c.ClientFraction > 1 {
-		return fmt.Errorf("engine: ClientFraction must be in [0,1], got %v", c.ClientFraction)
+	if c.ClientFraction == 0 {
+		return fmt.Errorf("engine: ClientFraction 0 would select no devices every round; leave it unset to default to full participation, or pass a value in (0,1]")
 	}
-	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+	// Inverted comparisons throughout so NaN is rejected too.
+	if !(c.ClientFraction > 0 && c.ClientFraction <= 1) {
+		return fmt.Errorf("engine: ClientFraction must be in (0,1], got %v", c.ClientFraction)
+	}
+	if !(c.ActivateProb >= 0 && c.ActivateProb <= 1) {
+		return fmt.Errorf("engine: ActivateProb must be in [0,1], got %v", c.ActivateProb)
+	}
+	if c.ActivateProb > 0 && c.ClientFraction < 1 {
+		return fmt.Errorf("engine: ActivateProb and ClientFraction sampling are mutually exclusive selection modes; use one or the other")
+	}
+	if !(c.DropoutProb >= 0 && c.DropoutProb < 1) {
 		return fmt.Errorf("engine: DropoutProb must be in [0,1), got %v", c.DropoutProb)
 	}
 	if c.DPClip < 0 {
@@ -113,8 +135,8 @@ func (c Config) Validate() error {
 		if c.DPClip > 0 {
 			return fmt.Errorf("engine: SecureAgg and DPClip are mutually exclusive aggregators")
 		}
-		if c.DropoutProb > 0 || (c.ClientFraction > 0 && c.ClientFraction < 1) {
-			return fmt.Errorf("engine: SecureAgg needs full participation (no sampling or dropout): absent clients' pairwise masks cannot cancel")
+		if c.DropoutProb > 0 || (c.ClientFraction > 0 && c.ClientFraction < 1) || c.ActivateProb > 0 {
+			return fmt.Errorf("engine: SecureAgg needs full participation (no sampling, activation, or dropout): absent clients' pairwise masks cannot cancel")
 		}
 	}
 	if c.SecureMaskScale < 0 {

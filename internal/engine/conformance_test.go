@@ -138,7 +138,13 @@ func conformanceConfigs() map[string]engine.Config {
 	dp.DPClip = 0.5
 	dp.DPNoise = 0.05
 	dp.Seed = 11
-	return map[string]engine.Config{"full": base, "partial": partial, "dp": dp}
+	// Probabilistic per-device activation: the cohort is a pure function of
+	// (seed, round, id), so every backend — and every aggregation-tree node —
+	// must derive the identical one.
+	activate := base
+	activate.ActivateProb = 0.6
+	activate.Seed = 13
+	return map[string]engine.Config{"full": base, "partial": partial, "dp": dp, "activate": activate}
 }
 
 func TestBackendConformance(t *testing.T) {
@@ -511,6 +517,7 @@ func TestSecureAggregationEndToEnd(t *testing.T) {
 // cancel, so the config layer must refuse the combination.
 func TestSecureAggRejectsPartialParticipation(t *testing.T) {
 	cfg := conformanceConfigs()["full"]
+	cfg.ClientFraction = 1 // direct Validate skips the defaulting pass
 	cfg.SecureAgg = true
 	cfg.DropoutProb = 0.5
 	if err := cfg.Validate(); err == nil {

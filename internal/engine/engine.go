@@ -121,13 +121,16 @@ const ErrNoClients = engineError("engine: no clients")
 // aggregator is chosen from cfg (weighted mean, DP, or secure); override it
 // with SetAggregator before running.
 func New(cfg Config, dim int, weights []float64, exec Executor) (*Engine, error) {
+	// Defaults are applied before validation so the zero value of an unset
+	// Config (ClientFraction 0 → full participation) keeps working while
+	// Validate rejects an explicit 0 from callers that validate directly.
+	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(weights) == 0 {
 		return nil, ErrNoClients
 	}
-	cfg = cfg.withDefaults()
 	e := &Engine{
 		cfg:     cfg,
 		exec:    exec,
@@ -327,7 +330,11 @@ func (e *Engine) StepCtx(ctx context.Context) ([]int, int, error) {
 		e.roundOpen = true
 	}
 	phase := e.tracer.StartPhase("select")
-	e.selBuf = SelectClients(e.server, len(e.weights), e.cfg.ClientFraction, e.selBuf)
+	if e.cfg.ActivateProb > 0 {
+		e.selBuf = ActivatedClients(e.cfg.Seed, e.round, len(e.weights), e.cfg.ActivateProb, e.selBuf)
+	} else {
+		e.selBuf = SelectClients(e.server, len(e.weights), e.cfg.ClientFraction, e.selBuf)
+	}
 	nsel := len(e.selBuf)
 	selected := Dropout(e.server, e.selBuf, e.cfg.DropoutProb)
 	phase.End()
@@ -541,6 +548,36 @@ func SelectClients(rng *rand.Rand, n int, fraction float64, buf []int) []int {
 	return randx.ChoiceWithout(rng, n, k)
 }
 
+// Activated reports whether device id joins round `round` under
+// probabilistic activation with probability p. The decision is a pure
+// function of (seed, round, id) — no RNG stream is consumed — so the root
+// coordinator and every aggregation-tree shard compute the identical cohort
+// independently. p ≥ 1 activates everyone.
+func Activated(seed int64, round, id int, p float64) bool {
+	if p >= 1 {
+		return true
+	}
+	return randx.ActivationUniform(seed, round, id) < p
+}
+
+// ActivatedClients fills buf (reused) with the ascending device IDs in
+// [0, n) that activate this round with probability p each. Unlike
+// SelectClients' uniform-k sampling, the cohort size is itself random —
+// Binomial(n, p) — matching the probabilistically activated agents of
+// Rostami & Kia (arXiv:2210.14362).
+func ActivatedClients(seed int64, round, n int, p float64, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:0]
+	for id := 0; id < n; id++ {
+		if Activated(seed, round, id, p) {
+			buf = append(buf, id)
+		}
+	}
+	return buf
+}
+
 // Dropped draws one report-failure event from the server stream.
 func Dropped(rng *rand.Rand, prob float64) bool {
 	return prob > 0 && rng.Float64() < prob
@@ -572,8 +609,13 @@ type Evaluator struct {
 	grads, g []float64
 }
 
-// Loss returns F̄(w) = Σ_n (D_n/D) F_n(w) — the objective of problem (2).
+// Loss returns F̄(w) = Σ_n (D_n/D) F_n(w) — the objective of problem (2) —
+// or NaN when the evaluator holds no training shards (a tree-root
+// coordinator never sees per-device data; it can still measure TestAcc).
 func (ev *Evaluator) Loss(w []float64) float64 {
+	if len(ev.Clients) == 0 {
+		return math.NaN()
+	}
 	var loss float64
 	for i, shard := range ev.Clients {
 		loss += ev.Weights[i] * ev.Model.Loss(w, shard, nil)

@@ -141,6 +141,9 @@ func (s *entryPointSpy) Stragglers() int { return s.inner.Stragglers() }
 // (a cut round's absent masks cannot cancel) must fail validation.
 func TestConfigRejectsBadPolicy(t *testing.T) {
 	base := conformanceConfigs()["full"]
+	// Direct Validate calls skip the engine's defaulting pass, so spell the
+	// full-participation default out — Validate rejects the zero value.
+	base.ClientFraction = 1
 	neg := base
 	neg.RoundDeadline = -time.Second
 	if err := neg.Validate(); err == nil {

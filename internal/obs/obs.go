@@ -56,6 +56,17 @@ type RoundStats struct {
 	// (zero for in-process backends).
 	BytesSent int64 `json:"bytes_sent"`
 	BytesRecv int64 `json:"bytes_recv"`
+	// SpanBytes is the portion of BytesRecv occupied by shipped trace spans
+	// (-trace-spans on the worker side). The closed-form
+	// RequestWireSize/ReplyWireSize are span-free by construction, so the
+	// byte-exact accounting identity under tracing is
+	// BytesRecv − SpanBytes == Σ ReplyWireSize. Zero with tracing off.
+	SpanBytes int64 `json:"span_bytes,omitempty"`
+	// Shards is the number of aggregation-tree child nodes that reported
+	// this round (tree coordinator only; zero for flat backends). When set,
+	// Participants/Failed/Stragglers are device-level totals rolled up from
+	// the shards' PartialSum frames, not per-connection counts.
+	Shards int `json:"shards,omitempty"`
 	// Codec is the wire codec the transport used this round ("float64",
 	// "int8", "topk-delta", ...); empty for in-process backends.
 	Codec string `json:"codec,omitempty"`

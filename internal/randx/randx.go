@@ -28,6 +28,19 @@ func DeriveSeed(seed int64, stream int64) int64 {
 	return int64(h)
 }
 
+// ActivationUniform returns the deterministic Uniform[0,1) draw that decides
+// whether device `id` activates in round `round` of a run seeded with `seed`.
+// It is a counter-based hash, not a stream: no generator state is consumed,
+// so any node in an aggregation tree — root or shard — can evaluate the same
+// (seed, round, id) triple independently and agree on the active cohort
+// without coordination or affecting the devices' private RNG streams.
+func ActivationUniform(seed int64, round, id int) float64 {
+	z := splitMix64(uint64(seed))
+	z = splitMix64(z ^ uint64(int64(round))*0x9e3779b97f4a7c15)
+	z = splitMix64(z ^ uint64(int64(id))*0xbf58476d1ce4e5b9)
+	return float64(z>>11) / (1 << 53)
+}
+
 // New returns a rand.Rand seeded with seed.
 func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 

@@ -45,6 +45,13 @@ type clientConn struct {
 	fr  frameReader
 	fw  frameWriter
 	rep RoundReply
+	// Aggregation-tree shard node (AggHello handshake, framed only): the
+	// connection owns devices [lo, lo+ndev) and replies with PartialSum
+	// frames decoded into ps (reused like rep).
+	isAgg bool
+	lo    int
+	ndev  int
+	ps    PartialSum
 	// Legacy gob wire.
 	enc  *gob.Encoder
 	dec  *gob.Decoder
@@ -75,11 +82,25 @@ func handshake(conn net.Conn, timeout time.Duration) (*clientConn, error) {
 		if err != nil {
 			return nil, protocolError("hello", err)
 		}
-		if typ != msgHello {
+		switch typ {
+		case msgHello:
+			if hello, err = unmarshalHello(payload); err != nil {
+				return nil, protocolError("hello", err)
+			}
+		case msgAggHello:
+			ah, err := unmarshalAggHello(payload)
+			if err != nil {
+				return nil, protocolError("hello", err)
+			}
+			if ah.NumDevices <= 0 || ah.LoDevice < 0 {
+				return nil, protocolError("hello",
+					errFrame("aggregator shard %d claims device range [%d,+%d)", ah.ShardID, ah.LoDevice, ah.NumDevices))
+			}
+			cc.isAgg = true
+			cc.lo, cc.ndev = ah.LoDevice, ah.NumDevices
+			hello = Hello{ClientID: ah.ShardID, NumSamples: int(ah.NumSamples)}
+		default:
 			return nil, protocolError("hello", errFrame("expected hello, got frame type %d", typ))
-		}
-		if hello, err = unmarshalHello(payload); err != nil {
-			return nil, protocolError("hello", err)
 		}
 	} else {
 		// The decoder must read through br (it holds the peeked byte); the
@@ -142,6 +163,28 @@ type Coordinator struct {
 	fault    FaultPolicy
 	onFault  func(clientID int, err error)
 
+	// Aggregation-tree mode (NewTreeCoordinator): every connection is an
+	// AggHello shard node replying with PartialSum frames. actProb is the
+	// per-device activation probability broadcast each round; the tree*
+	// slices are per-child round metadata (weight Σ D_n, device-level
+	// participant/failed/straggler counts), indexed by shard ID, rewritten
+	// each round on the coordinator goroutine + the per-child fan-out
+	// goroutine that owns the slot. The root's state is O(model + shards) —
+	// it never holds per-device anything.
+	tree            bool
+	actProb         float64
+	treeWeight      []float64
+	treeDevices     []int
+	treeFailed      []int
+	treeStragglers  []int
+	treeReported    []bool
+	totalVirtualDev int // Σ shard NumDevices, for logs/sanity only
+
+	// obsSpanBytes accumulates decoder-measured shipped-span bytes this
+	// round (see RoundReply.SpanBytes), so wire accounting can subtract
+	// them and stay byte-exact against the span-free closed forms.
+	obsSpanBytes atomic.Int64
+
 	// Per-round framed-wire state, rebuilt by roundSubset on the
 	// coordinator goroutine before the fan-out and then read-only: the
 	// request frame is encoded once and shared by every framed worker, and
@@ -182,8 +225,18 @@ func (c *Coordinator) SetCodec(codec Codec) { c.codec = codec }
 
 // SetTopKFrac sets the fraction of delta coordinates kept per round under
 // CodecTopK (default DefaultTopKFraction). Safe to change between rounds,
-// not during one.
-func (c *Coordinator) SetTopKFrac(frac float64) { c.topKFrac = frac }
+// not during one. Fractions outside (0, 1] are rejected: above 1 the k
+// would silently clamp to dim (sparsification off while still reporting
+// topk-delta sizes), and non-positive values would silently fall back to
+// the default.
+func (c *Coordinator) SetTopKFrac(frac float64) error {
+	// The inverted comparison also catches NaN, which passes both range checks.
+	if !(frac > 0 && frac <= 1) {
+		return fmt.Errorf("transport: topk fraction must be in (0,1], got %v", frac)
+	}
+	c.topKFrac = frac
+	return nil
+}
 
 // SetFaultPolicy replaces the fault-handling knobs (default
 // DefaultFaultPolicy). Safe to change between rounds, not during one.
@@ -231,6 +284,30 @@ func NewCoordinator(addr string, numClients int, timeout time.Duration) (*Coordi
 // legacy gob workers may mix freely in one cohort (the wire format is
 // per-connection).
 func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*Coordinator, error) {
+	return newCoordinatorOn(ln, numClients, timeout, false)
+}
+
+// NewTreeCoordinator is NewCoordinator for an aggregation tree: it waits for
+// numShards aggregator nodes (AggHello handshakes) instead of flat workers.
+func NewTreeCoordinator(addr string, numShards int, timeout time.Duration) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, protocolError("listen", err)
+	}
+	return NewTreeCoordinatorOn(ln, numShards, timeout)
+}
+
+// NewTreeCoordinatorOn completes tree-coordinator construction over an
+// existing listener: it blocks until numShards aggregator nodes have said
+// AggHello, then validates that their device ranges tile [0, N)
+// contiguously in shard-ID order — the ascending-shard fold order is what
+// makes the tree bit-identical to a flat ShardedMean over the same map.
+// Tree mode is framed-only and CodecFloat64-only (partial sums are exact).
+func NewTreeCoordinatorOn(ln net.Listener, numShards int, timeout time.Duration) (*Coordinator, error) {
+	return newCoordinatorOn(ln, numShards, timeout, true)
+}
+
+func newCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration, tree bool) (*Coordinator, error) {
 	if numClients <= 0 {
 		ln.Close()
 		return nil, fmt.Errorf("transport: need at least one client")
@@ -240,6 +317,7 @@ func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*
 		timeout: timeout,
 		fault:   DefaultFaultPolicy(),
 		pending: make(map[int]*clientConn),
+		tree:    tree,
 	}
 	c.rejoined = sync.NewCond(&c.mu)
 	seen := make(map[int]bool)
@@ -260,6 +338,14 @@ func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*
 			c.Close()
 			return nil, fmt.Errorf("transport: bad or duplicate client id %d", cc.id)
 		}
+		if cc.isAgg != tree {
+			conn.Close()
+			c.Close()
+			if tree {
+				return nil, fmt.Errorf("transport: tree coordinator needs aggregator nodes (AggHello), client %d sent a flat Hello", cc.id)
+			}
+			return nil, fmt.Errorf("transport: aggregator node %d connected to a flat coordinator; use NewTreeCoordinator", cc.id)
+		}
 		seen[cc.id] = true
 		c.clients = append(c.clients, cc)
 	}
@@ -278,11 +364,34 @@ func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*
 	for i, cc := range c.clients {
 		c.weights[i] = float64(cc.samples) / float64(total)
 	}
+	if tree {
+		// Shard ranges must tile [0, N) contiguously in shard-ID order:
+		// a gap or overlap would silently double-count or drop devices.
+		running := 0
+		for _, cc := range c.clients {
+			if cc.lo != running {
+				c.Close()
+				return nil, fmt.Errorf("transport: shard %d owns devices [%d,+%d), expected range to start at %d (shards must tile contiguously in shard-ID order)",
+					cc.id, cc.lo, cc.ndev, running)
+			}
+			running += cc.ndev
+		}
+		c.totalVirtualDev = running
+		c.treeWeight = make([]float64, numClients)
+		c.treeDevices = make([]int, numClients)
+		c.treeFailed = make([]int, numClients)
+		c.treeStragglers = make([]int, numClients)
+		c.treeReported = make([]bool, numClients)
+	}
 	// From here the listener serves the rejoin path: a restarted worker
 	// re-Hellos with its old client ID and is adopted at the next round.
 	go c.acceptLoop()
 	return c, nil
 }
+
+// VirtualDevices returns the total device count the tree's shards own
+// (zero for a flat coordinator).
+func (c *Coordinator) VirtualDevices() int { return c.totalVirtualDev }
 
 // acceptLoop serves post-construction connections: restarted workers
 // re-performing the Hello handshake. It exits when the listener closes.
@@ -315,7 +424,8 @@ func (c *Coordinator) handleRejoin(conn net.Conn) {
 		return
 	}
 	old := c.clients[cc.id]
-	if !old.dead || cc.samples != old.samples {
+	if !old.dead || cc.samples != old.samples ||
+		cc.isAgg != old.isAgg || cc.lo != old.lo || cc.ndev != old.ndev {
 		conn.Close()
 		return
 	}
@@ -461,6 +571,16 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 		c.resetRoundObs(len(selected))
 	}
 	c.adoptRejoined()
+	if c.tree {
+		// Per-child round metadata is rewritten by the fan-out goroutines;
+		// clear it here so a child that fails the round reads as absent
+		// (weight 0) to ChildWeight and the stats rollup.
+		for i := range c.treeWeight {
+			c.treeWeight[i] = 0
+			c.treeDevices[i], c.treeFailed[i], c.treeStragglers[i] = 0, 0, 0
+			c.treeReported[i] = false
+		}
+	}
 	roundDL, hasDL := ctx.Deadline()
 	topK := 0
 	if c.codec == CodecTopK {
@@ -482,7 +602,7 @@ func (c *Coordinator) roundSubset(ctx context.Context, round int, anchor []float
 	// to every framed worker. ref is the anchor exactly as framed workers
 	// decode it — the delta codecs reconstruct replies against it.
 	frReq := RoundRequest{Round: round, Codec: c.codec, Anchor: anchor, Local: local, TopK: topK,
-		TraceID: req.TraceID, SpanID: req.SpanID}
+		TraceID: req.TraceID, SpanID: req.SpanID, ActivateProb: c.actProb}
 	c.reqFrame = marshalRequest(c.reqFrame[:0], &frReq)
 	ref := anchor
 	if c.codec != CodecFloat64 {
@@ -726,6 +846,9 @@ func (c *Coordinator) exchange(cc *clientConn, rc *roundCtx, evals []int64, roun
 	if c.tracer != nil {
 		sentAt = time.Now()
 	}
+	if cc.isAgg {
+		return c.exchangeAgg(cc, rc, evals, wrap, sentAt)
+	}
 	var rep *RoundReply
 	if cc.framed {
 		if err := cc.fw.writeFrame(rc.frame); err != nil {
@@ -741,6 +864,9 @@ func (c *Coordinator) exchange(cc *clientConn, rc *roundCtx, evals []int64, roun
 		rep = &cc.rep
 		if err := unmarshalReply(payload, rep, rc.ref); err != nil {
 			return nil, 0, wrap("recv from", err), false
+		}
+		if rep.SpanBytes > 0 {
+			c.obsSpanBytes.Add(int64(rep.SpanBytes))
 		}
 	} else {
 		var gobRep RoundReply
@@ -785,12 +911,62 @@ func (c *Coordinator) exchange(cc *clientConn, rc *roundCtx, evals []int64, roun
 	return vec, rep.SolveSeconds, nil, false
 }
 
+// exchangeAgg is the aggregation-tree variant of one exchange attempt: the
+// same request frame goes down, a PartialSum comes back. The returned vec
+// is the shard's Σ D_n·w_n (aliasing the per-connection decode buffer, same
+// contract as framed replies); the shard's round weight and device-level
+// counts land in the per-child tree metadata slots, which only this
+// goroutine writes this round.
+func (c *Coordinator) exchangeAgg(cc *clientConn, rc *roundCtx, evals []int64, wrap func(string, error) error, sentAt time.Time) (vec []float64, solveSec float64, err error, retriable bool) {
+	if err := cc.fw.writeFrame(rc.frame); err != nil {
+		return nil, 0, wrap("send to", err), false
+	}
+	typ, payload, err := cc.fr.next()
+	if err != nil {
+		return nil, 0, wrap("recv from", err), false
+	}
+	if typ != msgPartialSum {
+		return nil, 0, wrap("recv from", errFrame("expected partial sum, got frame type %d", typ)), false
+	}
+	ps := &cc.ps
+	if err := unmarshalPartialSum(payload, ps); err != nil {
+		return nil, 0, wrap("recv from", err), false
+	}
+	if ps.SpanBytes > 0 {
+		c.obsSpanBytes.Add(int64(ps.SpanBytes))
+	}
+	if ps.Err != "" {
+		return nil, 0, fmt.Errorf("transport: shard %d: %s", cc.id, ps.Err), true
+	}
+	if ps.Round != rc.round {
+		return nil, 0, fmt.Errorf("transport: shard %d replied for round %d, want %d",
+			cc.id, ps.Round, rc.round), true
+	}
+	if len(ps.Sum) != rc.dim {
+		return nil, 0, fmt.Errorf("transport: shard %d sent a %d-dim partial sum, want %d",
+			cc.id, len(ps.Sum), rc.dim), true
+	}
+	if evals != nil {
+		evals[cc.id] = ps.GradEvals
+	}
+	c.treeWeight[cc.id] = ps.Weight
+	c.treeDevices[cc.id] = ps.Devices
+	c.treeFailed[cc.id] = ps.Failed
+	c.treeStragglers[cc.id] = ps.Stragglers
+	c.treeReported[cc.id] = true
+	if c.tracer != nil && len(ps.Spans) > 0 {
+		c.tracer.IngestWire(ps.Spans, rc.req.SpanID, "shard-"+strconv.Itoa(cc.id), sentAt)
+	}
+	return ps.Sum, ps.SolveSeconds, nil, false
+}
+
 // resetRoundObs clears the per-round observability state for a round with n
 // selected workers. Runs before adoptRejoined so adoptions land in the round
 // being measured; also discards any retry/rejoin counts accumulated while
 // observability was off.
 func (c *Coordinator) resetRoundObs(n int) {
 	c.obsRetries.Store(0)
+	c.obsSpanBytes.Store(0)
 	c.mu.Lock()
 	c.obsRejoins = 0
 	c.mu.Unlock()
@@ -809,6 +985,7 @@ func (c *Coordinator) resetRoundObs(n int) {
 // their models were discarded — the work and the bytes were real.
 func (c *Coordinator) collectRoundObs(rs *obs.RoundStats) {
 	rs.Retries += int(c.obsRetries.Load())
+	rs.SpanBytes += c.obsSpanBytes.Load()
 	c.mu.Lock()
 	rs.Rejoins += c.obsRejoins
 	c.mu.Unlock()
@@ -903,6 +1080,12 @@ func (x *Executor) run(ctx context.Context, anchor []float64, selected []int, qu
 // Stragglers implements engine.StragglerCounter.
 func (x *Executor) Stragglers() int { return x.stragglers }
 
+// ChildWeight reports shard child's Σ D_n for the current round (raw
+// sample counts over its reporting devices; zero when the whole shard sat
+// out or its connection failed). It is the weight callback a PartialMean
+// root aggregator folds with — see Coordinator.TreeEngine.
+func (x *Executor) ChildWeight(child int) float64 { return x.c.treeWeight[child] }
+
 // GradEvals implements engine.EvalCounter: the sum of every worker's last
 // reported cumulative gradient-evaluation count.
 func (x *Executor) GradEvals() int64 {
@@ -944,6 +1127,24 @@ func (x *Executor) CollectStats(rs *obs.RoundStats) {
 	rs.Codec = x.c.codec.String()
 	x.lastSent, x.lastRecv = sent, recv
 	x.c.collectRoundObs(rs)
+	if x.c.tree {
+		// The engine counted shard connections; roll the shards'
+		// PartialSum accounting up to device-level totals. A shard whose
+		// connection failed contributes nothing (its devices' fate is
+		// unknown to the root — by design it holds no per-device state).
+		var parts, failed, strag, shards int
+		for id, ok := range x.c.treeReported {
+			if !ok {
+				continue
+			}
+			shards++
+			parts += x.c.treeDevices[id]
+			failed += x.c.treeFailed[id]
+			strag += x.c.treeStragglers[id]
+		}
+		rs.Participants, rs.Failed, rs.Stragglers = parts, failed, strag
+		rs.Shards = shards
+	}
 }
 
 // Train runs cfg.Rounds federated rounds starting from w0 and returns the
@@ -984,6 +1185,53 @@ func (c *Coordinator) Engine(w0 []float64, cfg core.Config, evalModel models.Mod
 			Weights: c.weights,
 			Test:    cfg.Test,
 		})
+	}
+	return eng, nil
+}
+
+// TreeEngine builds a ready-to-run engine over this tree coordinator's
+// aggregator nodes: the engine's "cohort" is the shards, every shard is
+// addressed every round (full participation at the root), and the root
+// aggregator is a PartialMean folding the shards' pre-weighted partial sums
+// in ascending shard order — bit-identical to a flat ShardedMean over the
+// same shard map. cfg.ActivateProb is lifted off the engine and broadcast
+// to the nodes instead, which evaluate the per-device activation over their
+// own ranges; everything per-device (sampling, dropout injection, DP,
+// secure masking) is rejected because the root never sees devices.
+// evalModel (with cfg.Test) gives test-set accuracy; training loss is NaN —
+// the root holds no training shards, by design.
+func (c *Coordinator) TreeEngine(w0 []float64, cfg core.Config, evalModel models.Model) (*engine.Engine, error) {
+	if !c.tree {
+		return nil, fmt.Errorf("transport: TreeEngine needs a tree coordinator (NewTreeCoordinator)")
+	}
+	if c.codec != CodecFloat64 {
+		return nil, fmt.Errorf("transport: the aggregation tree is float64-only (partial sums must stay exact), coordinator codec is %v", c.codec)
+	}
+	if cfg.SecureAgg || cfg.DPClip > 0 || cfg.DPNoise > 0 {
+		return nil, fmt.Errorf("transport: SecureAgg/DP aggregation needs per-device submissions; the tree root only sees per-shard partial sums")
+	}
+	if cfg.DropoutProb > 0 {
+		return nil, fmt.Errorf("transport: engine-side dropout injection over the tree would drop whole shards, not devices; use -activate-prob or chaos schedules on the nodes")
+	}
+	if cfg.ClientFraction != 0 && cfg.ClientFraction != 1 {
+		return nil, fmt.Errorf("transport: ClientFraction sampling over the tree would sample shards, not devices; use ActivateProb")
+	}
+	if cfg.ActivateProb < 0 || cfg.ActivateProb > 1 {
+		return nil, fmt.Errorf("transport: ActivateProb must be in [0,1], got %v", cfg.ActivateProb)
+	}
+	x := c.Executor(cfg.Local)
+	// The nodes run the activation draw over their device ranges; the root
+	// engine addresses every shard every round.
+	c.actProb = cfg.ActivateProb
+	cfg.ActivateProb = 0
+	eng, err := engine.New(cfg, len(w0), c.weights, x)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetAggregator(engine.NewPartialMean(len(w0), x.ChildWeight))
+	eng.SetGlobal(w0)
+	if evalModel != nil {
+		eng.SetEvaluator(&engine.Evaluator{Model: evalModel, Test: cfg.Test})
 	}
 	return eng, nil
 }

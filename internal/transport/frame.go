@@ -11,8 +11,9 @@ package transport
 //
 //	magic(0xFE) | type(u8) | payloadLen(u32 LE) | payload
 //
-// with three frame types: Hello, RoundRequest and RoundReply. All integers
-// are little-endian; floats are IEEE-754 bits (float64 vectors round-trip
+// with five frame types: Hello, RoundRequest, RoundReply, and the
+// aggregation-tree pair AggHello and PartialSum. All integers are
+// little-endian; floats are IEEE-754 bits (float64 vectors round-trip
 // bit-exactly, keeping the conformance suites bit-identical in
 // CodecFloat64). The magic byte doubles as the wire-format handshake: gob
 // streams cannot begin with 0xFE (a gob stream starts with a small uvarint
@@ -22,11 +23,14 @@ package transport
 // Payload layouts (all fields fixed-width unless marked uvarint):
 //
 //	Hello        version(u8) clientID(i32) numSamples(i32)
+//	AggHello     version(u8) shardID(i32) loDevice(i32) numDevices(i32)
+//	             numSamples(i64)
 //	RoundRequest round(u32) flags(u8) codec(u8) topK(u32)
 //	             -- omitted when flags&reqFlagDone:
 //	             eta(f64) mu(f64) clipNorm(f64) tau(u32) batch(u32)
 //	             estimator(u8) return(u8) schedule(u8)
 //	             traceID(u64) spanID(u64)      -- only when flags&reqFlagTrace
+//	             activateProb(f64)             -- only when flags&reqFlagActivate
 //	             anchor vector (downlink layout, see below)
 //	RoundReply   clientID(i32) round(u32) flags(u8) codec(u8)
 //	             gradEvals(i64) solveSeconds(f64)
@@ -37,6 +41,16 @@ package transport
 //	                                               nameLen(uvarint) name
 //	                                               start(f64) end(f64)
 //	             local vector (uplink layout)
+//	PartialSum   shardID(i32) round(u32) flags(u8)
+//	             errLen(uvarint) err            -- only when flags&repFlagErr,
+//	                                               then nothing follows
+//	             devices(u32) failed(u32) stragglers(u32)
+//	             gradEvals(i64) solveSeconds(f64) weight(f64)
+//	             spanCount(uvarint) spans       -- same layout as RoundReply
+//	             dim(u32) 8·dim                 -- Σ D_n·w_n, always float64:
+//	                                               the tree streams exact
+//	                                               partial sums so the fold
+//	                                               stays bit-identical to flat
 //
 // Vector layouts are codec-dependent; dim(u32) always comes first.
 // Downlink (the anchor, quantized absolutely):
@@ -71,6 +85,8 @@ const (
 	msgHello        = 1
 	msgRoundRequest = 2
 	msgRoundReply   = 3
+	msgAggHello     = 4
+	msgPartialSum   = 5
 
 	frameHeaderSize = 6
 	// maxFramePayload bounds decoder allocation against a corrupt or
@@ -81,8 +97,9 @@ const (
 
 // RoundRequest flags.
 const (
-	reqFlagDone  = 1 << 0
-	reqFlagTrace = 1 << 1
+	reqFlagDone     = 1 << 0
+	reqFlagTrace    = 1 << 1
+	reqFlagActivate = 1 << 2
 )
 
 // RoundReply flags.
@@ -249,6 +266,21 @@ func marshalHello(dst []byte, h *Hello) []byte {
 	return w.b
 }
 
+// marshalAggHello appends an AggHello frame to dst — the handshake of an
+// aggregation-tree shard node, which owns a contiguous device ID range
+// instead of a single device.
+func marshalAggHello(dst []byte, h *AggHello) []byte {
+	w := wireBuf{b: dst}
+	body := w.beginFrame(msgAggHello)
+	w.u8(frameVersion)
+	w.i32(int32(h.ShardID))
+	w.i32(int32(h.LoDevice))
+	w.i32(int32(h.NumDevices))
+	w.i64(h.NumSamples)
+	w.endFrame(body)
+	return w.b
+}
+
 // marshalRequest appends a RoundRequest frame to dst. req.Anchor must hold
 // the full-precision anchor (the marshaller quantizes per req.Codec); a
 // Done request carries no config and no anchor.
@@ -261,6 +293,9 @@ func marshalRequest(dst []byte, req *RoundRequest) []byte {
 	}
 	if req.TraceID != 0 {
 		flags |= reqFlagTrace
+	}
+	if req.ActivateProb > 0 {
+		flags |= reqFlagActivate
 	}
 	w.u32(uint32(req.Round))
 	w.u8(flags)
@@ -278,6 +313,9 @@ func marshalRequest(dst []byte, req *RoundRequest) []byte {
 		if req.TraceID != 0 {
 			w.u64(req.TraceID)
 			w.u64(req.SpanID)
+		}
+		if req.ActivateProb > 0 {
+			w.f64(req.ActivateProb)
 		}
 		marshalVecDown(&w, req.Codec, req.Anchor)
 	}
@@ -340,8 +378,17 @@ func marshalReply(dst []byte, rep *RoundReply, ref, scratch []float64, topK int)
 		w.endFrame(body)
 		return w.b, scratch
 	}
-	w.uvarint(uint64(len(rep.Spans)))
-	for _, s := range rep.Spans {
+	marshalSpans(&w, rep.Spans)
+	scratch = marshalVecUp(&w, rep.Codec, rep.Local, ref, scratch, topK)
+	w.endFrame(body)
+	return w.b, scratch
+}
+
+// marshalSpans appends the shipped-span block shared by RoundReply and
+// PartialSum: spanCount(uvarint) then each span's id/parent/name/start/end.
+func marshalSpans(w *wireBuf, spans []trace.WireSpan) {
+	w.uvarint(uint64(len(spans)))
+	for _, s := range spans {
 		w.uvarint(s.ID)
 		w.uvarint(s.Parent)
 		w.uvarint(uint64(len(s.Name)))
@@ -349,9 +396,37 @@ func marshalReply(dst []byte, rep *RoundReply, ref, scratch []float64, topK int)
 		w.f64(s.Start)
 		w.f64(s.End)
 	}
-	scratch = marshalVecUp(&w, rep.Codec, rep.Local, ref, scratch, topK)
-	w.endFrame(body)
-	return w.b, scratch
+}
+
+// unmarshalSpans decodes a shipped-span block and returns the spans plus
+// the EXCESS bytes the block occupied beyond the 1-byte empty spanCount
+// that the closed-form ReplyWireSize/PartialSumWireSize already account
+// for. With tracing off the block is exactly one zero byte and the excess
+// is 0; with tracing on the excess is what RoundStats.SpanBytes must carry
+// so that BytesRecv − SpanBytes still matches the closed forms byte-exactly.
+func unmarshalSpans(c *wireCursor) ([]trace.WireSpan, int, error) {
+	mark := c.off
+	nspans := int(c.uvarint("span count"))
+	if nspans == 0 {
+		return nil, c.off - mark - 1, c.err
+	}
+	if nspans > len(c.b) { // each span is well over one byte
+		return nil, 0, errFrame("span count %d exceeds payload", nspans)
+	}
+	spans := make([]trace.WireSpan, nspans)
+	for i := range spans {
+		s := &spans[i]
+		s.ID = c.uvarint("span id")
+		s.Parent = c.uvarint("span parent")
+		n := int(c.uvarint("span name length"))
+		s.Name = string(c.take(n, "span name"))
+		s.Start = c.f64("span start")
+		s.End = c.f64("span end")
+	}
+	if c.err != nil {
+		return nil, 0, c.err
+	}
+	return spans, c.off - mark - 1, nil
 }
 
 // marshalVecUp encodes the local model for the uplink: raw floats in the
@@ -408,6 +483,40 @@ func marshalVecUp(w *wireBuf, c Codec, v, ref, scratch []float64, topK int) []fl
 	return scratch
 }
 
+// marshalPartialSum appends a PartialSum frame to dst. ps.Sum must hold
+// the shard's full-precision Σ D_n·w_n — partial sums always travel as raw
+// float64 so the root's fold is bit-identical to a flat ShardedMean.
+func marshalPartialSum(dst []byte, ps *PartialSum) []byte {
+	w := wireBuf{b: dst}
+	body := w.beginFrame(msgPartialSum)
+	var flags byte
+	if ps.Err != "" {
+		flags |= repFlagErr
+	}
+	w.i32(int32(ps.ShardID))
+	w.u32(uint32(ps.Round))
+	w.u8(flags)
+	if ps.Err != "" {
+		w.uvarint(uint64(len(ps.Err)))
+		w.bytes([]byte(ps.Err))
+		w.endFrame(body)
+		return w.b
+	}
+	w.u32(uint32(ps.Devices))
+	w.u32(uint32(ps.Failed))
+	w.u32(uint32(ps.Stragglers))
+	w.i64(ps.GradEvals)
+	w.f64(ps.SolveSeconds)
+	w.f64(ps.Weight)
+	marshalSpans(&w, ps.Spans)
+	w.u32(uint32(len(ps.Sum)))
+	for _, x := range ps.Sum {
+		w.f64(x)
+	}
+	w.endFrame(body)
+	return w.b
+}
+
 // deltaInto stores v−ref into scratch (grown as needed). A ref of the
 // wrong length yields the raw vector — the decoder's dimension check
 // rejects the exchange rather than silently corrupting it.
@@ -440,6 +549,68 @@ func unmarshalHello(p []byte) (Hello, error) {
 	return h, nil
 }
 
+// unmarshalAggHello decodes an AggHello payload.
+func unmarshalAggHello(p []byte) (AggHello, error) {
+	c := wireCursor{b: p}
+	v := c.u8("agghello version")
+	h := AggHello{
+		ShardID:    int(c.i32("agghello shard id")),
+		LoDevice:   int(c.i32("agghello lo device")),
+		NumDevices: int(c.i32("agghello device count")),
+		NumSamples: c.i64("agghello samples"),
+	}
+	if err := c.done(); err != nil {
+		return AggHello{}, err
+	}
+	if v != frameVersion {
+		return AggHello{}, errFrame("unsupported protocol version %d", v)
+	}
+	return h, nil
+}
+
+// unmarshalPartialSum decodes a PartialSum payload into ps, overwriting
+// every field; ps.Sum reuses its backing array.
+func unmarshalPartialSum(p []byte, ps *PartialSum) error {
+	c := wireCursor{b: p}
+	ps.ShardID = int(c.i32("partial shard id"))
+	ps.Round = int(c.u32("partial round"))
+	flags := c.u8("partial flags")
+	ps.Err = ""
+	ps.Spans = nil
+	ps.SpanBytes = 0
+	if flags&repFlagErr != 0 {
+		n := int(c.uvarint("error length"))
+		ps.Err = string(c.take(n, "error text"))
+		ps.Sum = ps.Sum[:0]
+		ps.Devices, ps.Failed, ps.Stragglers = 0, 0, 0
+		ps.GradEvals, ps.SolveSeconds, ps.Weight = 0, 0, 0
+		return c.done()
+	}
+	ps.Devices = int(c.u32("partial devices"))
+	ps.Failed = int(c.u32("partial failed"))
+	ps.Stragglers = int(c.u32("partial stragglers"))
+	ps.GradEvals = c.i64("partial grad evals")
+	ps.SolveSeconds = c.f64("partial solve seconds")
+	ps.Weight = c.f64("partial weight")
+	var err error
+	ps.Spans, ps.SpanBytes, err = unmarshalSpans(&c)
+	if err != nil {
+		return err
+	}
+	dim := int(c.u32("partial dim"))
+	if c.err != nil {
+		return c.err
+	}
+	if c.off+8*dim > len(c.b) {
+		return errFrame("partial sum body short: dim %d needs %d bytes, have %d", dim, 8*dim, len(c.b)-c.off)
+	}
+	ps.Sum = ensureF64(ps.Sum, dim)
+	for i := range ps.Sum {
+		ps.Sum[i] = c.f64("partial sum f64")
+	}
+	return c.done()
+}
+
 // unmarshalRequest decodes a RoundRequest payload into req, overwriting
 // every field (req is safely reusable across rounds). req.Anchor is filled
 // with the DEQUANTIZED anchor — under the int codecs that is exactly the
@@ -452,6 +623,7 @@ func unmarshalRequest(p []byte, req *RoundRequest) error {
 	req.TopK = int(c.u32("request topk"))
 	req.Done = flags&reqFlagDone != 0
 	req.TraceID, req.SpanID = 0, 0
+	req.ActivateProb = 0
 	req.Anchor32 = nil
 	if req.Done {
 		req.Local = optim.LocalConfig{}
@@ -474,6 +646,9 @@ func unmarshalRequest(p []byte, req *RoundRequest) error {
 	if flags&reqFlagTrace != 0 {
 		req.TraceID = c.u64("trace id")
 		req.SpanID = c.u64("span id")
+	}
+	if flags&reqFlagActivate != 0 {
+		req.ActivateProb = c.f64("activate prob")
 	}
 	var err error
 	req.Anchor, err = unmarshalVecDown(&c, req.Codec, req.Anchor)
@@ -530,6 +705,7 @@ func unmarshalReply(p []byte, rep *RoundReply, ref []float64) error {
 	rep.SolveSeconds = c.f64("reply solve seconds")
 	rep.Err = ""
 	rep.Spans = nil
+	rep.SpanBytes = 0
 	rep.Local32 = nil
 	if flags&repFlagErr != 0 {
 		n := int(c.uvarint("error length"))
@@ -540,26 +716,11 @@ func unmarshalReply(p []byte, rep *RoundReply, ref []float64) error {
 	if !rep.Codec.Valid() {
 		return errFrame("unknown codec %d", rep.Codec)
 	}
-	nspans := int(c.uvarint("span count"))
-	if nspans > 0 {
-		if nspans > len(c.b) { // each span is well over one byte
-			return errFrame("span count %d exceeds payload", nspans)
-		}
-		rep.Spans = make([]trace.WireSpan, nspans)
-		for i := range rep.Spans {
-			s := &rep.Spans[i]
-			s.ID = c.uvarint("span id")
-			s.Parent = c.uvarint("span parent")
-			n := int(c.uvarint("span name length"))
-			s.Name = string(c.take(n, "span name"))
-			s.Start = c.f64("span start")
-			s.End = c.f64("span end")
-		}
-		if c.err != nil {
-			return c.err
-		}
-	}
 	var err error
+	rep.Spans, rep.SpanBytes, err = unmarshalSpans(&c)
+	if err != nil {
+		return err
+	}
 	rep.Local, err = unmarshalVecUp(&c, rep.Codec, rep.Local, ref)
 	if err != nil {
 		return err

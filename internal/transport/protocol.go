@@ -32,6 +32,18 @@ type Hello struct {
 	NumSamples int
 }
 
+// AggHello is the first message an aggregation-tree shard node sends after
+// connecting to a tree coordinator (framed wire only). The node owns the
+// contiguous device ID range [LoDevice, LoDevice+NumDevices) and NumSamples
+// is the shard's total Σ D_n — the coordinator only ever learns per-shard
+// totals, which is what keeps its memory O(model), not O(devices).
+type AggHello struct {
+	ShardID    int
+	LoDevice   int
+	NumDevices int
+	NumSamples int64
+}
+
 // RoundRequest is broadcast by the coordinator at each global iteration.
 // Done=true tells the worker to exit (other fields are then ignored).
 // The worker must reply in the same codec — the coordinator enforces this
@@ -59,6 +71,13 @@ type RoundRequest struct {
 	// them zero).
 	TraceID uint64
 	SpanID  uint64
+	// ActivateProb, when positive, tells an aggregation-tree node to run
+	// probabilistic per-device activation over its shard this round: device
+	// id participates iff engine.Activated(seed, Round, id, ActivateProb).
+	// The draw is a pure function of (seed, round, id), so the node needs no
+	// extra coordination to agree with the root on the cohort. Plain workers
+	// ignore it (their single device is addressed by the selection itself).
+	ActivateProb float64
 }
 
 // AnchorVec returns the anchor as float64 regardless of codec.
@@ -88,6 +107,43 @@ type RoundReply struct {
 	// to its receipt of the request (see trace.WireSpan); empty unless the
 	// request carried a TraceID and the worker has tracing enabled.
 	Spans []trace.WireSpan
+	// SpanBytes is decoder-measured: how many payload bytes the shipped
+	// span block occupied beyond the 1-byte empty span count that the
+	// closed-form ReplyWireSize already accounts for. Zero with tracing
+	// off; obs accounting subtracts it so wire-byte assertions stay
+	// byte-exact under -trace-spans (never sent, only measured on receipt).
+	SpanBytes int
+}
+
+// PartialSum is an aggregation-tree node's round reply: the pre-weighted
+// partial sum Σ D_n·w_n over its shard's reporting devices, the shard's
+// round weight Σ D_n, and the rolled-up per-shard accounting. Always
+// CodecFloat64 on the wire — streaming exact partials is what keeps the
+// tree fold bit-identical to a flat ShardedMean over the same shard map.
+type PartialSum struct {
+	ShardID int
+	Round   int
+	// Devices/Failed/Stragglers count the shard's selected devices that
+	// reported / failed / were cut by the straggler policy this round.
+	Devices    int
+	Failed     int
+	Stragglers int
+	// GradEvals is the node's cumulative gradient-evaluation count over its
+	// shard (same semantics as RoundReply.GradEvals).
+	GradEvals int64
+	// SolveSeconds is the node-measured wall-clock duration of the shard
+	// fan-out (its whole round, not one device's solve).
+	SolveSeconds float64
+	// Weight is Σ D_n over the reporting devices — raw sample counts, so
+	// the root's single normalization is exact integer arithmetic in
+	// float64. Zero means the entire shard sat out (the root skips it).
+	Weight float64
+	Sum    []float64
+	Err    string // non-empty if the node failed this round
+	// Spans/SpanBytes mirror RoundReply: shipped trace spans and their
+	// decoder-measured excess bytes.
+	Spans     []trace.WireSpan
+	SpanBytes int
 }
 
 // LocalVec returns the local model as float64 regardless of codec.

@@ -1,0 +1,587 @@
+// Aggregation-tree tests: frame round-trips for the tree's wire messages,
+// the bit-identity of a tree run against the flat ShardedMean reference,
+// chaos against an interior node degrading exactly like a scripted dropout
+// of its shard, and the O(model + shards) root-memory guarantee.
+package transport
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fedproxvr/internal/chaos"
+	"fedproxvr/internal/core"
+	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
+	"fedproxvr/internal/mathx"
+	"fedproxvr/internal/models"
+	"fedproxvr/internal/obs"
+	"fedproxvr/internal/optim"
+	"fedproxvr/internal/trace"
+)
+
+func TestAggHelloRoundTrip(t *testing.T) {
+	h := AggHello{ShardID: 3, LoDevice: 4000, NumDevices: 1000, NumSamples: 123456789}
+	frame := marshalAggHello(nil, &h)
+	if len(frame) != AggHelloWireSize {
+		t.Fatalf("AggHello frame is %d bytes, AggHelloWireSize says %d", len(frame), AggHelloWireSize)
+	}
+	got, err := unmarshalAggHello(frame[frameHeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("decoded %+v, want %+v", got, h)
+	}
+	for n := 0; n < len(frame)-frameHeaderSize; n++ {
+		if _, err := unmarshalAggHello(frame[frameHeaderSize : frameHeaderSize+n]); err == nil {
+			t.Fatalf("agghello truncated to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestPartialSumRoundTrip(t *testing.T) {
+	const dim = 16
+	ps := PartialSum{
+		ShardID: 1, Round: 7, Devices: 3, Failed: 1, Stragglers: 2,
+		GradEvals: 9001, SolveSeconds: 0.25, Weight: 60,
+		Sum: testVec(7, dim),
+	}
+	frame := marshalPartialSum(nil, &ps)
+	if len(frame) != PartialSumWireSize(dim) {
+		t.Fatalf("PartialSum frame is %d bytes, PartialSumWireSize(%d) says %d",
+			len(frame), dim, PartialSumWireSize(dim))
+	}
+	var got PartialSum
+	if err := unmarshalPartialSum(frame[frameHeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ShardID != 1 || got.Round != 7 || got.Devices != 3 || got.Failed != 1 ||
+		got.Stragglers != 2 || got.GradEvals != 9001 || got.SolveSeconds != 0.25 ||
+		got.Weight != 60 || got.Err != "" {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i := range ps.Sum {
+		if got.Sum[i] != ps.Sum[i] {
+			t.Fatalf("sum differs at %d: %v vs %v (partial sums must be exact)", i, got.Sum[i], ps.Sum[i])
+		}
+	}
+	for n := 0; n < len(frame)-frameHeaderSize; n++ {
+		var r PartialSum
+		if err := unmarshalPartialSum(frame[frameHeaderSize:frameHeaderSize+n], &r); err == nil {
+			t.Fatalf("partial sum truncated to %d bytes accepted", n)
+		}
+	}
+	var r PartialSum
+	if err := unmarshalPartialSum(append(append([]byte(nil), frame[frameHeaderSize:]...), 0xAA), &r); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+
+	// Error path: decoding into the same struct must clear every stale field.
+	errPS := PartialSum{ShardID: 2, Round: 8, Err: "chaos: injected flake"}
+	frame = marshalPartialSum(frame[:0], &errPS)
+	if err := unmarshalPartialSum(frame[frameHeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != "chaos: injected flake" || got.ShardID != 2 || got.Round != 8 {
+		t.Fatalf("error partial %+v", got)
+	}
+	if len(got.Sum) != 0 || got.Devices != 0 || got.Weight != 0 || got.GradEvals != 0 {
+		t.Fatalf("error partial kept stale payload fields: %+v", got)
+	}
+
+	// Span-bearing path: the decoder measures the span excess so the
+	// accounting identity frameLen == PartialSumWireSize(dim) + SpanBytes
+	// holds exactly.
+	spanPS := ps
+	spanPS.Spans = []trace.WireSpan{
+		{ID: 1, Parent: 0, Name: "shard-solve", Start: 0.001, End: 0.2},
+		{ID: 2, Parent: 1, Name: "device-7", Start: 0.002, End: 0.05},
+	}
+	frame = marshalPartialSum(frame[:0], &spanPS)
+	if err := unmarshalPartialSum(frame[frameHeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spans) != 2 || got.Spans[0] != spanPS.Spans[0] || got.Spans[1] != spanPS.Spans[1] {
+		t.Fatalf("spans %+v, want %+v", got.Spans, spanPS.Spans)
+	}
+	if got.SpanBytes <= 0 {
+		t.Fatal("span-bearing partial measured no span bytes")
+	}
+	if want := PartialSumWireSize(dim) + int(got.SpanBytes); len(frame) != want {
+		t.Fatalf("span frame is %d bytes, PartialSumWireSize + SpanBytes says %d", len(frame), want)
+	}
+}
+
+// treeShards splits p.Clients into fanout contiguous shards using the same
+// arithmetic as cmd/fedclient: shard s owns [s·n/fanout, (s+1)·n/fanout).
+func treeShards(p *data.Partition, fanout int) (los, his []int) {
+	n := len(p.Clients)
+	for s := 0; s < fanout; s++ {
+		los = append(los, s*n/fanout)
+		his = append(his, (s+1)*n/fanout)
+	}
+	return los, his
+}
+
+// launchTree starts one AggregatorNode per shard (chaos nodes when sched is
+// non-nil) and returns the connected tree coordinator.
+func launchTree(t *testing.T, p *data.Partition, m models.Model, seed int64,
+	fanout int, sched *chaos.Schedule) (*Coordinator, *sync.WaitGroup) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	los, his := treeShards(p, fanout)
+	var wg sync.WaitGroup
+	for s := 0; s < fanout; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var n *AggregatorNode
+			var err error
+			if sched != nil {
+				n, err = NewChaosAggregatorNode(addr, s, los[s], p.Clients[los[s]:his[s]], m, seed, sched)
+			} else {
+				n, err = NewAggregatorNode(addr, s, los[s], p.Clients[los[s]:his[s]], m, seed)
+			}
+			if err != nil {
+				t.Errorf("aggregator node %d: %v", s, err)
+				return
+			}
+			if err := n.Serve(); err != nil {
+				t.Errorf("aggregator node %d serve: %v", s, err)
+			}
+		}(s)
+	}
+	c, err := NewTreeCoordinatorOn(ln, fanout, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &wg
+}
+
+// flatShardedEngine builds the flat reference for a tree run: a Sequential
+// executor over the same global device IDs with a ShardedMean aggregator
+// over the tree's shard boundaries.
+func flatShardedEngine(t *testing.T, p *data.Partition, m models.Model, cfg core.Config,
+	fanout int, w0 []float64, exec func(*engine.Sequential) engine.Executor) *engine.Engine {
+	t.Helper()
+	devices := make([]*engine.Device, len(p.Clients))
+	counts := make([]float64, len(p.Clients))
+	for i, shard := range p.Clients {
+		devices[i] = engine.NewDevice(i, shard, m, cfg.Seed)
+		counts[i] = float64(shard.N())
+	}
+	_, ends := treeShards(p, fanout)
+	seq := engine.NewSequential(devices, cfg.Local)
+	var x engine.Executor = seq
+	if exec != nil {
+		x = exec(seq)
+	}
+	eng, err := engine.New(cfg, m.Dim(), p.Weights(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetAggregator(engine.NewShardedMean(counts, ends, m.Dim()))
+	eng.SetGlobal(w0)
+	return eng
+}
+
+// memSink retains per-round stats in memory (Clients excluded — the slice
+// is only valid during the call).
+type memSink struct {
+	mu     sync.Mutex
+	rounds []obs.RoundStats
+}
+
+func (s *memSink) RecordRound(rs *obs.RoundStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := *rs
+	cp.Clients = nil
+	s.rounds = append(s.rounds, cp)
+}
+
+func (s *memSink) Close() error { return nil }
+
+// TestTreeMatchesFlatBitIdentical: a tree run over AggregatorNode shards
+// must produce the bit-identical model sequence of a flat Sequential run
+// folded with ShardedMean over the same shard map — with full
+// participation and under probabilistic activation, where each node
+// recomputes its slice of the (seed, round, id)-hashed cohort on its own.
+func TestTreeMatchesFlatBitIdentical(t *testing.T) {
+	const fanout = 3
+	p := testPartition(12, 20, 3, 3, 1)
+	m := models.NewSoftmax(3, 3, 0)
+
+	for _, tc := range []struct {
+		name string
+		prob float64
+	}{
+		{"full", 0},
+		{"activate", 0.6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.FedProxVR(optim.SARAH, 6, 1, 0.2, 5, 4, 6)
+			cfg.Seed = 42
+			cfg.ActivateProb = tc.prob
+			w0 := testVec(33, m.Dim())
+
+			ref := flatShardedEngine(t, p, m, cfg, fanout, w0, nil)
+			refSeries, err := ref.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mathx.Clone(ref.Global())
+
+			c, wg := launchTree(t, p, m, cfg.Seed, fanout, nil)
+			defer c.Close()
+			if got := c.VirtualDevices(); got != len(p.Clients) {
+				t.Fatalf("tree coordinator sees %d virtual devices, want %d", got, len(p.Clients))
+			}
+			eng, err := c.TreeEngine(w0, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := &memSink{}
+			eng.SetStats(obs.NewCollector(sink))
+			series, err := eng.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Shutdown()
+			wg.Wait()
+
+			got := eng.Global()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("tree model differs from flat sharded reference at %d: %v vs %v", i, got[i], want[i])
+				}
+			}
+			refLast, _ := refSeries.Last()
+			last, _ := series.Last()
+			if last.GradEvals != refLast.GradEvals {
+				t.Fatalf("tree ran %d gradient evals, flat reference %d", last.GradEvals, refLast.GradEvals)
+			}
+
+			// The rollup must report device-level totals from the PartialSum
+			// frames, not shard connections.
+			thinned := false
+			for _, rs := range sink.rounds {
+				if rs.Shards != fanout {
+					t.Fatalf("round %d: %d shards reported, want %d", rs.Round, rs.Shards, fanout)
+				}
+				if tc.prob == 0 && rs.Participants != len(p.Clients) {
+					t.Fatalf("round %d: %d participants, want all %d devices", rs.Round, rs.Participants, len(p.Clients))
+				}
+				if rs.Participants < len(p.Clients) {
+					thinned = true
+				}
+			}
+			if tc.prob > 0 && !thinned {
+				t.Fatal("activation never thinned the cohort — the test is vacuous")
+			}
+		})
+	}
+}
+
+// dropShardExec is the flat-engine equivalent of crashing one aggregator
+// node for one round: at round `at` the devices in [lo, hi) are removed
+// from the fan-out BEFORE running (their RNG streams stay untouched) and
+// their slots come back nil, exactly what the tree coordinator sees when
+// the shard's connection dies.
+type dropShardExec struct {
+	inner  *engine.Sequential
+	round  int
+	at     int
+	lo, hi int
+	sub    []int
+}
+
+func (d *dropShardExec) RunClients(anchor []float64, selected []int) ([][]float64, error) {
+	d.round++
+	if d.round != d.at {
+		return d.inner.RunClients(anchor, selected)
+	}
+	d.sub = d.sub[:0]
+	for _, id := range selected {
+		if id < d.lo || id >= d.hi {
+			d.sub = append(d.sub, id)
+		}
+	}
+	locals, err := d.inner.RunClients(anchor, d.sub)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(selected))
+	j := 0
+	for i, id := range selected {
+		if id < d.lo || id >= d.hi {
+			out[i] = locals[j]
+			j++
+		}
+	}
+	return out, nil
+}
+
+func (d *dropShardExec) GradEvals() int64 { return d.inner.GradEvals() }
+
+// TestTreeChaosMatchesScriptedShardDropout: killing an interior aggregator
+// node mid-run must degrade EXACTLY like a scripted dropout of its whole
+// shard for that round — bit-identical to the flat reference with the
+// shard's devices excised from that round's fan-out — and a flaked
+// PartialSum must be absorbed by a retry with no trace in the model.
+func TestTreeChaosMatchesScriptedShardDropout(t *testing.T) {
+	const (
+		fanout     = 3
+		crashShard = 1
+		crashRound = 3
+		flakeShard = 2
+		flakeRound = 2
+	)
+	p := testPartition(12, 20, 3, 3, 1)
+	m := models.NewSoftmax(3, 3, 0)
+	cfg := core.FedProxVR(optim.SARAH, 6, 1, 0.2, 5, 4, 6)
+	cfg.Seed = 42
+	w0 := testVec(33, m.Dim())
+
+	los, his := treeShards(p, fanout)
+	ref := flatShardedEngine(t, p, m, cfg, fanout, w0, func(seq *engine.Sequential) engine.Executor {
+		return &dropShardExec{inner: seq, at: crashRound, lo: los[crashShard], hi: his[crashShard]}
+	})
+	if _, err := ref.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := mathx.Clone(ref.Global())
+
+	sched := &chaos.Schedule{Events: []chaos.Event{
+		{Device: crashShard, Round: crashRound, Kind: chaos.Crash},
+		{Device: flakeShard, Round: flakeRound, Kind: chaos.Flake},
+	}}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, wg := launchTree(t, p, m, cfg.Seed, fanout, sched)
+	defer c.Close()
+	// One retry absorbs the flake; quorum 1 lets the crash round degrade.
+	c.SetFaultPolicy(FaultPolicy{MaxRetries: 1, RetryBackoff: 10 * time.Millisecond,
+		MinParticipants: 1, MaxFailedRounds: 3})
+	eng, err := c.TreeEngine(w0, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &memSink{}
+	eng.SetStats(obs.NewCollector(sink))
+	eng.OnRound(func(info engine.RoundInfo) error {
+		if info.Round == crashRound {
+			// Block until the crashed node's rejoin is pending so the next
+			// round adopts it deterministically.
+			return c.AwaitRejoin(crashShard, 10*time.Second)
+		}
+		return nil
+	})
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatalf("run with a crashed aggregator node should complete: %v", err)
+	}
+	c.Shutdown()
+	wg.Wait()
+
+	got := eng.Global()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chaos tree model differs from scripted-dropout reference at %d: %v vs %v",
+				i, got[i], want[i])
+		}
+	}
+
+	shardSize := his[crashShard] - los[crashShard]
+	for _, rs := range sink.rounds {
+		switch rs.Round {
+		case crashRound:
+			if rs.Shards != fanout-1 {
+				t.Fatalf("crash round: %d shards reported, want %d", rs.Shards, fanout-1)
+			}
+			if rs.Participants != len(p.Clients)-shardSize {
+				t.Fatalf("crash round: %d participants, want %d (crashed shard's devices unknown to the root)",
+					rs.Participants, len(p.Clients)-shardSize)
+			}
+		case flakeRound:
+			if rs.Retries == 0 {
+				t.Fatal("flake round recorded no retry — the flake was never injected")
+			}
+			if rs.Shards != fanout || rs.Participants != len(p.Clients) {
+				t.Fatalf("flake round: %d shards, %d participants — the retry should make it whole",
+					rs.Shards, rs.Participants)
+			}
+		case crashRound + 1:
+			if rs.Rejoins == 0 {
+				t.Fatal("no rejoin recorded after the crash round")
+			}
+			if rs.Shards != fanout {
+				t.Fatalf("round after crash: %d shards reported, want all %d back", rs.Shards, fanout)
+			}
+		}
+	}
+}
+
+// stubShardPeer handshakes as an aggregator node claiming ndev virtual
+// devices but holds no per-device state at all: it answers every round with
+// a fixed partial sum. It exists to isolate the ROOT's memory footprint
+// from device count.
+func stubShardPeer(t *testing.T, addr string, shardID, lo, ndev, dim int, done *sync.WaitGroup) {
+	defer done.Done()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("stub shard %d: %v", shardID, err)
+		return
+	}
+	defer conn.Close()
+	fw := frameWriter{w: conn}
+	fr := frameReader{r: bufio.NewReader(conn)}
+	buf := marshalAggHello(nil, &AggHello{ShardID: shardID, LoDevice: lo, NumDevices: ndev, NumSamples: int64(ndev) * 10})
+	if err := fw.writeFrame(buf); err != nil {
+		t.Errorf("stub shard %d hello: %v", shardID, err)
+		return
+	}
+	sum := make([]float64, dim)
+	var req RoundRequest
+	for {
+		typ, payload, err := fr.next()
+		if err != nil {
+			return
+		}
+		if typ != msgRoundRequest {
+			t.Errorf("stub shard %d: frame type %d", shardID, typ)
+			return
+		}
+		if err := unmarshalRequest(payload, &req); err != nil {
+			t.Errorf("stub shard %d: %v", shardID, err)
+			return
+		}
+		if req.Done {
+			return
+		}
+		ps := PartialSum{ShardID: shardID, Round: req.Round, Devices: ndev,
+			Weight: float64(ndev) * 10, Sum: sum}
+		buf = marshalPartialSum(buf[:0], &ps)
+		if err := fw.writeFrame(buf); err != nil {
+			t.Errorf("stub shard %d reply: %v", shardID, err)
+			return
+		}
+	}
+}
+
+// TestTreeRootMemoryIsDeviceCountInvariant: the root's live heap must not
+// grow with the virtual-device count — only with model dim and shard count.
+// Scaling the cohort 10× (10k → 100k devices) behind the same 4 shards must
+// leave the root's live allocation flat to within noise; any per-device
+// state at the root (even 8 bytes/device ≈ 800KB at 100k) trips the bound.
+func TestTreeRootMemoryIsDeviceCountInvariant(t *testing.T) {
+	const (
+		fanout = 4
+		dim    = 2048
+		rounds = 3
+	)
+	measure := func(virtDev int) int64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		var wg sync.WaitGroup
+		for s := 0; s < fanout; s++ {
+			lo, hi := s*virtDev/fanout, (s+1)*virtDev/fanout
+			wg.Add(1)
+			go stubShardPeer(t, addr, s, lo, hi-lo, dim, &wg)
+		}
+		c, err := NewTreeCoordinatorOn(ln, fanout, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.VirtualDevices(); got != virtDev {
+			t.Fatalf("coordinator sees %d virtual devices, want %d", got, virtDev)
+		}
+		cfg := core.FedAvg(5, 1, 2, 2, rounds)
+		w0 := make([]float64, dim)
+		for r := 1; r <= rounds; r++ {
+			if _, err := c.Round(r, w0, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Live heap while the coordinator (and its per-connection buffers)
+		// are still fully reachable.
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+
+		c.Shutdown()
+		c.Close()
+		wg.Wait()
+		return delta
+	}
+
+	small := measure(10_000)
+	big := measure(100_000)
+	t.Logf("root live heap: %d bytes at 10k virtual devices, %d at 100k (growth %d)", small, big, big-small)
+	const slack = 512 * 1024
+	if growth := big - small; growth > slack {
+		t.Fatalf("root live heap grew %d bytes when virtual devices scaled 10x (10k: %d, 100k: %d) — "+
+			"the root must hold O(model + shards) state, not O(devices)", growth, small, big)
+	}
+}
+
+// TestTreeEngineRejectsPerDeviceFeatures: everything that needs per-device
+// submissions or per-device selection at the root is rejected up front.
+func TestTreeEngineRejectsPerDeviceFeatures(t *testing.T) {
+	const fanout = 2
+	p := testPartition(4, 10, 3, 3, 2)
+	m := models.NewSoftmax(3, 3, 0)
+	c, wg := launchTree(t, p, m, 7, fanout, nil)
+	defer c.Close()
+	w0 := make([]float64, m.Dim())
+	base := core.FedProxVR(optim.SARAH, 6, 1, 0.2, 5, 4, 2)
+	base.Seed = 7
+
+	reject := func(name string, mut func(*core.Config)) {
+		cfg := base
+		mut(&cfg)
+		if _, err := c.TreeEngine(w0, cfg, nil); err == nil {
+			t.Errorf("%s: TreeEngine accepted a per-device feature the root cannot honor", name)
+		}
+	}
+	reject("secureagg", func(cfg *core.Config) { cfg.SecureAgg = true })
+	reject("dropout", func(cfg *core.Config) { cfg.DropoutProb = 0.5 })
+	reject("fraction", func(cfg *core.Config) { cfg.ClientFraction = 0.5 })
+	reject("dp", func(cfg *core.Config) { cfg.DPClip = 1; cfg.DPNoise = 0.1 })
+
+	c.SetCodec(CodecInt8)
+	if _, err := c.TreeEngine(w0, base, nil); err == nil {
+		t.Error("TreeEngine accepted a lossy codec — partial sums must stay exact")
+	}
+	c.SetCodec(CodecFloat64)
+
+	// The happy path still builds and runs after the rejections.
+	eng, err := c.TreeEngine(w0, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"math"
 	"net"
 	"strings"
@@ -10,9 +11,11 @@ import (
 
 	"fedproxvr/internal/core"
 	"fedproxvr/internal/data"
+	"fedproxvr/internal/engine"
 	"fedproxvr/internal/models"
 	"fedproxvr/internal/obs"
 	"fedproxvr/internal/optim"
+	"fedproxvr/internal/trace"
 )
 
 // launchFleet is launchTwoPhase with a custom worker constructor, so the
@@ -306,7 +309,9 @@ func TestQuantizedCodecsStillTrain(t *testing.T) {
 		c, wg := launchTwoPhase(t, p, m, cfg.Seed)
 		defer c.Close()
 		c.SetCodec(codec)
-		c.SetTopKFrac(0.25)
+		if err := c.SetTopKFrac(0.25); err != nil {
+			t.Fatal(err)
+		}
 		_, series, err := c.Train(make([]float64, m.Dim()), cfg, m.Clone(), p.Clients)
 		if err != nil {
 			t.Fatal(err)
@@ -321,6 +326,82 @@ func TestQuantizedCodecsStillTrain(t *testing.T) {
 		got := loss(codec)
 		if math.IsNaN(got) || got > exact+0.25*(1+math.Abs(exact)) {
 			t.Fatalf("%v trained to %v, exact mode to %v", codec, got, exact)
+		}
+	}
+}
+
+// TestSetTopKFracValidation: the coordinator must reject fractions outside
+// (0,1] with an actionable error instead of silently producing a k of 0
+// (which historically sent empty sparse replies that zeroed the round).
+func TestSetTopKFracValidation(t *testing.T) {
+	var c Coordinator
+	for _, bad := range []float64{0, -0.1, 1.0001, 2, math.NaN()} {
+		err := c.SetTopKFrac(bad)
+		if err == nil {
+			t.Fatalf("SetTopKFrac(%v) accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "(0,1]") {
+			t.Fatalf("SetTopKFrac(%v) error should state the valid range, got: %v", bad, err)
+		}
+	}
+	for _, ok := range []float64{0.001, 0.25, 1} {
+		if err := c.SetTopKFrac(ok); err != nil {
+			t.Fatalf("SetTopKFrac(%v): %v", ok, err)
+		}
+	}
+}
+
+// TestTracedWireAccountingExact: span shipping makes the uplink bigger than
+// the closed-form ReplyWireSize, but never UNACCOUNTED — the decoder
+// measures the excess into RoundStats.SpanBytes, so the identity
+// BytesRecv − SpanBytes == Σ ReplyWireSize holds byte-exactly, and the
+// downlink is Σ RequestWireSize with the 16-byte trace context included.
+func TestTracedWireAccountingExact(t *testing.T) {
+	p := testPartition(3, 20, 3, 3, 19)
+	m := models.NewSoftmax(3, 3, 0)
+	dim := m.Dim()
+
+	for _, codec := range []Codec{CodecFloat64, CodecTopK} {
+		cfg := core.FedProxVR(optim.SARAH, 6, 1, 0.2, 5, 4, 3)
+		cfg.Seed = 19
+		c, wg := launchTracedWorkers(t, p, m, cfg.Seed, nil)
+		c.SetCodec(codec)
+		eng, err := engine.New(cfg, dim, c.Weights(), c.Executor(cfg.Local))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetTracer(trace.New("coordinator"))
+		sink := &memSink{}
+		eng.SetStats(obs.NewCollector(sink))
+		if _, err := eng.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		c.Shutdown()
+		wg.Wait()
+		c.Close()
+
+		topK := 0
+		if codec == CodecTopK {
+			topK = TopKFor(0, dim)
+		}
+		n := len(p.Clients)
+		if len(sink.rounds) != cfg.Rounds {
+			t.Fatalf("%v: %d round records, want %d", codec, len(sink.rounds), cfg.Rounds)
+		}
+		for _, rs := range sink.rounds {
+			if rs.SpanBytes <= 0 {
+				t.Fatalf("%v round %d: traced run measured no span bytes", codec, rs.Round)
+			}
+			wantSent := int64(n * RequestWireSize(codec, dim, true))
+			if rs.BytesSent != wantSent {
+				t.Fatalf("%v round %d: BytesSent = %d, exact traced size says %d",
+					codec, rs.Round, rs.BytesSent, wantSent)
+			}
+			wantRecv := int64(n * ReplyWireSize(codec, dim, topK))
+			if got := rs.BytesRecv - rs.SpanBytes; got != wantRecv {
+				t.Fatalf("%v round %d: BytesRecv − SpanBytes = %d − %d = %d, exact size says %d",
+					codec, rs.Round, rs.BytesRecv, rs.SpanBytes, got, wantRecv)
+			}
 		}
 	}
 }
