@@ -10,7 +10,7 @@ TESTFLAGS ?= -timeout 120s
 # race-enabled targets carry their own, larger guard.
 RACE_TESTFLAGS ?= -timeout 900s
 
-.PHONY: build test vet fmt race check bench bench-all benchgate chaos trace-demo fuzz
+.PHONY: build test vet fmt race check bench bench-all benchgate chaos soak-restart trace-demo fuzz
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,18 @@ CHAOS_SOAK_ROUNDS ?=
 chaos:
 	CHAOS_SOAK_ROUNDS=$(CHAOS_SOAK_ROUNDS) $(GO) test -race $(RACE_TESTFLAGS) -count=1 \
 		-run 'Chaos|Straggler|MinReport' ./internal/chaos/ ./internal/engine/ ./internal/transport/
+
+# soak-restart runs the kill-the-coordinator soak: a real fedserver process
+# serving the multi-job control plane is SIGKILLed every K rounds of fleet
+# progress and restarted on the same -state-dir until every job is DONE;
+# each job's durable checkpoint must be bit-identical to an uninterrupted
+# run. SOAK_RESTART_ROUNDS is the kill cadence K (the test skips without
+# it), e.g.
+#   make soak-restart SOAK_RESTART_ROUNDS=5
+SOAK_RESTART_ROUNDS ?=
+soak-restart:
+	SOAK_RESTART_ROUNDS=$(SOAK_RESTART_ROUNDS) $(GO) test -race $(RACE_TESTFLAGS) -count=1 \
+		-run SoakRestart -v ./internal/jobs/
 
 # The recorded benchmark set: the engine/ablation hot paths plus the batched
 # NN kernels (forward/backward, minibatch gradient, full inner solve), the

@@ -35,6 +35,8 @@ func main() {
 		gobWire   = flag.Bool("gob-wire", false, "speak the legacy gob protocol instead of the framed wire (compatibility/baseline runs)")
 		fanout    = flag.Int("tree-fanout", 0, "run as aggregation-tree shard node #id of this many (0 = plain single-device worker); must match the server's -tree-fanout")
 		virtDev   = flag.Int("virtual-devices", 0, "total virtual devices across the tree (must match the server's -virtual-devices)")
+		jobID     = flag.String("job", "", "lease this worker to one job ID (must match the server's -job)")
+		epoch     = flag.Int64("lease-epoch", 0, "lease epoch presented in the handshake; a stale epoch is rejected and the worker adopts the server's current lease before rejoining")
 	)
 	flag.Parse()
 
@@ -58,6 +60,17 @@ func main() {
 
 	var worker *transport.Worker
 	switch {
+	case *jobID != "":
+		if *gobWire {
+			fatal(fmt.Errorf("-job leases run on the framed wire; drop -gob-wire"))
+		}
+		if *chaosPath != "" {
+			fatal(fmt.Errorf("-job and -chaos are mutually exclusive"))
+		}
+		worker, err = transport.NewLeasedWorker(*addr, *id, shard, task.Model, *seed, *jobID, *epoch)
+		if err != nil {
+			fatal(err)
+		}
 	case *chaosPath != "":
 		if *gobWire {
 			fatal(fmt.Errorf("-chaos runs on the framed wire; drop -gob-wire"))

@@ -15,14 +15,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/engine"
+	"fedproxvr/internal/jobs"
 	"fedproxvr/internal/obs"
 	"fedproxvr/internal/trace"
 	"fedproxvr/internal/transport"
@@ -60,8 +65,17 @@ func main() {
 		fanout   = flag.Int("tree-fanout", 0, "run an aggregation tree over this many shard nodes instead of flat workers (0 = flat)")
 		virtDev  = flag.Int("virtual-devices", 0, "total virtual devices the tree drives, split contiguously across the shard nodes (tree mode only)")
 		actProb  = flag.Float64("activate-prob", 0, "per-device per-round activation probability (0 = deterministic selection via -fraction)")
+		stateDir = flag.String("state-dir", "", "durable job state directory: run the multi-job control plane (jobs submitted over -admin's /jobs API) instead of a single TCP round loop")
+		maxJobs  = flag.Int("max-jobs", 8, "live jobs admitted before POST /jobs returns 429 (with -state-dir)")
+		slots    = flag.Int("slots", 1, "jobs training a round concurrently (with -state-dir)")
+		jobLease = flag.String("job", "", "lease this coordinator to one job ID; workers must present the same lease in their Hello")
+		jobEpoch = flag.Int64("lease-epoch", 0, "lease epoch handed out with -job; a worker presenting a stale epoch is rejected and told the current lease")
 	)
 	flag.Parse()
+	if *stateDir != "" {
+		runJobsMode(*stateDir, *admin, *maxJobs, *slots)
+		return
+	}
 	codec, err := transport.ParseCodec(*codecStr)
 	if err != nil {
 		fatal(err)
@@ -108,10 +122,20 @@ func main() {
 	cfg.ActivateProb = *actProb
 
 	var coord *transport.Coordinator
-	if *fanout > 0 {
+	switch {
+	case *jobLease != "":
+		if *fanout > 0 {
+			fatal(fmt.Errorf("-job leases drive flat workers; drop -tree-fanout"))
+		}
+		fmt.Printf("fedserver: waiting for %d workers on %s (lease %s@%d) …\n", *devices, *addr, *jobLease, *jobEpoch)
+		var ln net.Listener
+		if ln, err = net.Listen("tcp", *addr); err == nil {
+			coord, err = transport.NewLeasedCoordinatorOn(ln, *devices, *timeout, *jobLease, *jobEpoch)
+		}
+	case *fanout > 0:
 		fmt.Printf("fedserver: waiting for %d tree shard nodes on %s (%d virtual devices) …\n", *fanout, *addr, *virtDev)
 		coord, err = transport.NewTreeCoordinator(*addr, *fanout, *timeout)
-	} else {
+	default:
 		fmt.Printf("fedserver: waiting for %d workers on %s …\n", *devices, *addr)
 		coord, err = transport.NewCoordinator(*addr, *devices, *timeout)
 	}
@@ -200,9 +224,16 @@ func main() {
 		}
 		return nil
 	})
+	// Graceful shutdown: SIGTERM/SIGINT cancels the run at the next round
+	// boundary (the engine checks ctx between rounds — an in-flight round
+	// finishes or is abandoned by its own deadline policy), sinks are
+	// flushed, and the process exits 0.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stopSignals()
 	start := time.Now()
-	series, err := eng.Run(context.Background())
-	if err != nil {
+	series, err := eng.Run(ctx)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fatal(err)
 	}
 	coord.Shutdown()
@@ -210,6 +241,9 @@ func main() {
 		if err := collector.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "fedserver: interrupted — stopped at a round boundary, sinks flushed")
 	}
 	if tracer != nil {
 		if err := exportTrace(tracer, *spansPth, *spanLog); err != nil {
@@ -237,6 +271,47 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runJobsMode runs the multi-job control plane: a crash-recovering job
+// manager over -state-dir, with the job API and per-job metrics served on
+// the admin endpoint. SIGTERM/SIGINT stops gracefully — in-flight rounds
+// finish, checkpoints are fsynced, running jobs yield back to PENDING — and
+// the process exits 0; a later incarnation (epoch bumped) resumes every
+// non-terminal job at its last completed round, bit-identical.
+func runJobsMode(stateDir, adminAddr string, maxJobs, slots int) {
+	if adminAddr == "" {
+		fatal(fmt.Errorf("-state-dir needs -admin (the /jobs API is served on the admin endpoint)"))
+	}
+	m, err := jobs.Open(jobs.Options{Dir: stateDir, MaxJobs: maxJobs, Slots: slots})
+	if err != nil {
+		fatal(err)
+	}
+	jobsAPI := m.Handler()
+	adm := obs.NewAdmin(&obs.Registry{}, obs.AdminOptions{
+		Extra:  []obs.MetricsWriter{m},
+		Mounts: map[string]http.Handler{"/jobs": jobsAPI, "/jobs/": jobsAPI},
+	})
+	ln, err := net.Listen("tcp", adminAddr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: adm}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "fedserver: admin endpoint: %v\n", err)
+		}
+	}()
+	fmt.Printf("fedserver: control plane epoch %d over %s — %d recovered job(s), admin http://%s (/jobs, /metrics)\n",
+		m.Epoch(), m.Dir(), len(m.List()), ln.Addr())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stopSignals()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "fedserver: shutting down — finishing in-flight rounds, flushing job state …")
+	m.Stop()
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "fedserver: job state flushed; non-terminal jobs will resume on the next start")
 }
 
 // exportTrace writes the collected spans in the requested formats.

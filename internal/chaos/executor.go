@@ -24,11 +24,14 @@ import (
 //
 // Rounds are counted from 1, incremented on every RunClients call, which
 // matches the engine's round numbering when the decorator is installed
-// before training starts.
+// before training starts. An engine drives the numbering explicitly
+// through BeginRound, so a resumed engine (checkpoint restore) replays
+// the schedule at the true global round numbers.
 type Executor struct {
 	inner engine.Executor
 	sched *Schedule
 	round int
+	ext   int // round set by BeginRound for the next run; 0 = self-count
 
 	out    [][]float64
 	runIDs []int
@@ -45,6 +48,16 @@ func NewExecutor(inner engine.Executor, sched *Schedule) *Executor {
 
 // Inner returns the wrapped executor.
 func (x *Executor) Inner() engine.Executor { return x.inner }
+
+// BeginRound implements engine.RoundBeginner: the schedule is evaluated at
+// the engine's round number and the call is forwarded inward so the
+// wrapped executor re-keys its devices for the same round.
+func (x *Executor) BeginRound(t int) {
+	x.ext = t
+	if rb, ok := x.inner.(engine.RoundBeginner); ok {
+		rb.BeginRound(t)
+	}
+}
 
 // RunClients implements engine.Executor.
 func (x *Executor) RunClients(anchor []float64, selected []int) ([][]float64, error) {
@@ -65,7 +78,11 @@ type lateDev struct {
 }
 
 func (x *Executor) run(ctx context.Context, anchor []float64, selected []int, minReport int) ([][]float64, error) {
-	x.round++
+	if x.ext > 0 {
+		x.round, x.ext = x.ext, 0
+	} else {
+		x.round++
+	}
 	x.stragglers = 0
 	if !x.sched.RoundHasEvents(x.round) {
 		out, err := engine.RunClientsWithPolicy(x.inner, ctx, anchor, selected, minReport)

@@ -1,17 +1,24 @@
 // Package checkpoint persists and resumes federated training runs: the
 // global model, the round counter and the metric history are written
-// atomically (temp file + rename) in gob format, so a long experiment
-// survives process restarts.
+// atomically (temp file + rename + parent-dir fsync) in gob format with a
+// CRC32 integrity trailer, so a long experiment survives process restarts
+// — including a SIGKILL mid-write.
 //
-// Caveat, stated honestly: device RNG streams are not serialized, so a
-// resumed run draws fresh local mini-batches — it is statistically
-// equivalent to, but not bit-identical with, an uninterrupted run.
+// Resume is bit-identical: no RNG stream needs serializing because every
+// stream (server and per-device) is re-keyed at each round boundary from a
+// pure (seed, stream, round) hash — see randx.RoundSeed and
+// engine.Device.BeginRound — so a run resumed at round t draws exactly
+// what the uninterrupted run would have drawn from round t+1 on.
 package checkpoint
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -21,8 +28,17 @@ import (
 	"fedproxvr/internal/metrics"
 )
 
-// Version guards the on-disk format.
-const Version = 1
+// Version guards the on-disk format. Version 2 appends a little-endian
+// IEEE CRC32 of the gob payload as a 4-byte trailer; version 1 files
+// (plain gob, no trailer) are still read.
+const Version = 2
+
+// ErrCorrupt marks a checkpoint file that exists but fails integrity
+// verification — truncated, bit-flipped, or torn. Callers holding a
+// previous-round checkpoint (internal/jobs rotates ckpt → ckpt.prev)
+// should fall back to it with errors.Is(err, ErrCorrupt) instead of
+// treating the job as unrecoverable.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
 
 // State is everything needed to resume a run.
 type State struct {
@@ -48,9 +64,19 @@ func Save(path string, s *State) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after successful rename
-	if err := gob.NewEncoder(tmp).Encode(s); err != nil {
+	// The CRC is computed over the exact bytes written: the payload streams
+	// through the hash on its way to the file, and the 4-byte trailer makes
+	// any later truncation or bit flip detectable at Load.
+	h := crc32.NewIEEE()
+	if err := gob.NewEncoder(io.MultiWriter(tmp, h)).Encode(s); err != nil {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+	if _, err := tmp.Write(trailer[:]); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: trailer: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -85,18 +111,48 @@ func syncDir(dir string) error {
 // construct invalid checkpoints.
 func encodeRaw(w io.Writer, s *State) error { return gob.NewEncoder(w).Encode(s) }
 
-// Load reads a state; os.IsNotExist(err) distinguishes a fresh start.
+// Load reads a state; os.IsNotExist(err) distinguishes a fresh start and
+// errors.Is(err, ErrCorrupt) a damaged file (truncated or bit-flipped).
+// Version-2 files are verified against their CRC32 trailer; trailerless
+// version-1 files from before the trailer existed are still accepted.
 func Load(path string) (*State, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var s State
-	if err := gob.NewDecoder(f).Decode(&s); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	if n := len(data); n > 4 {
+		want := binary.LittleEndian.Uint32(data[n-4:])
+		if crc32.ChecksumIEEE(data[:n-4]) == want {
+			var s State
+			if err := gob.NewDecoder(bytes.NewReader(data[:n-4])).Decode(&s); err != nil {
+				return nil, fmt.Errorf("%w: %s: verified payload undecodable: %v", ErrCorrupt, path, err)
+			}
+			if s.Version != Version {
+				return nil, fmt.Errorf("checkpoint: %s has version %d, want %d", path, s.Version, Version)
+			}
+			return &s, nil
+		}
 	}
-	if s.Version != Version {
+	// No valid trailer: either a legacy version-1 file (plain gob, which
+	// must consume the file exactly) or a damaged version-2 file.
+	r := bytes.NewReader(data)
+	var s State
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if r.Len() != 0 {
+		// A legacy whole-file gob consumes the file exactly; leftover bytes
+		// mean a trailered file whose CRC no longer matches — a bit flip
+		// landed somewhere gob tolerates (a float's mantissa, the version
+		// field, the trailer itself).
+		return nil, fmt.Errorf("%w: %s: CRC32 trailer mismatch", ErrCorrupt, path)
+	}
+	if s.Version != 1 {
+		if s.Version == Version {
+			// A well-formed current-version payload with no trailer at all:
+			// the file was truncated by exactly the trailer's four bytes.
+			return nil, fmt.Errorf("%w: %s: missing CRC32 trailer", ErrCorrupt, path)
+		}
 		return nil, fmt.Errorf("checkpoint: %s has version %d, want %d", path, s.Version, Version)
 	}
 	return &s, nil

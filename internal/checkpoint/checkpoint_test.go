@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -238,6 +239,103 @@ func TestTrainRejectsForeignCheckpoint(t *testing.T) {
 	}
 	if _, err := Train(r, path, 1); err == nil {
 		t.Fatal("dimension mismatch should be rejected")
+	}
+}
+
+func TestLoadRejectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	st := &State{Name: "x", Round: 3, Global: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every byte position in turn: wherever the flip lands
+	// — gob header, a float's mantissa (which gob would happily decode to a
+	// wrong model), the version field, or the trailer itself — Load must
+	// refuse with ErrCorrupt rather than resume from silently wrong state.
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at byte %d: want ErrCorrupt, got %v", pos, err)
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	st := &State{Name: "x", Round: 3, Global: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(data) - 1, len(data) - 4, len(data) / 2, 3, 0} {
+		if err := os.WriteFile(path, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: want ErrCorrupt, got %v", keep, err)
+		}
+	}
+}
+
+func TestLoadAcceptsLegacyV1(t *testing.T) {
+	// A pre-trailer checkpoint: plain gob, Version 1, no CRC. Old state
+	// dirs must keep restoring after the format bump.
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	st := &State{Version: 1, Name: "legacy", Round: 5, Global: []float64{1, 2}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeRaw(f, st); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("legacy v1 checkpoint rejected: %v", err)
+	}
+	if back.Name != "legacy" || back.Round != 5 {
+		t.Fatalf("legacy state mangled: %+v", back)
+	}
+}
+
+func TestResumeBitIdentical(t *testing.T) {
+	// The restart = never-died claim, at the Train level: 5 rounds +
+	// crash + resume to 10 must produce the exact bytes of an
+	// uninterrupted 10-round run (round-keyed RNG re-seeding means no
+	// stream history is lost with the process).
+	dir := t.TempDir()
+	r0, _, _ := fixture(t, 10)
+	if _, err := Train(r0, filepath.Join(dir, "straight.ckpt"), 10); err != nil {
+		t.Fatal(err)
+	}
+
+	interrupted := filepath.Join(dir, "interrupted.ckpt")
+	r1, _, _ := fixture(t, 5)
+	if _, err := Train(r1, interrupted, 1); err != nil {
+		t.Fatal(err)
+	}
+	r2, _, _ := fixture(t, 10)
+	if _, err := Train(r2, interrupted, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := r0.Global(), r2.Global()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("resumed model differs from uninterrupted run at %d: %v vs %v", i, got[i], want[i])
+		}
 	}
 }
 

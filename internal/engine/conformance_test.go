@@ -206,6 +206,14 @@ type failAfterExec struct {
 	sub    []int
 }
 
+// BeginRound forwards the engine's round number inward so the wrapped
+// executor re-keys its devices exactly like the TCP workers it stands for.
+func (f *failAfterExec) BeginRound(t int) {
+	if rb, ok := f.inner.(engine.RoundBeginner); ok {
+		rb.BeginRound(t)
+	}
+}
+
 func (f *failAfterExec) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	f.round++
 	if f.round <= f.after {
@@ -278,6 +286,7 @@ func serveFlakyWorker(t *testing.T, addr string, id int, shard *data.Dataset, m 
 			rep.Err = "injected flake"
 		} else {
 			start := time.Now()
+			dev.BeginRound(req.Round)
 			rep.Local = dev.RunRound(req.AnchorVec(), req.Local)
 			rep.SolveSeconds = time.Since(start).Seconds()
 			rep.GradEvals = dev.GradEvals()

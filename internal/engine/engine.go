@@ -135,7 +135,7 @@ func New(cfg Config, dim int, weights []float64, exec Executor) (*Engine, error)
 		cfg:     cfg,
 		exec:    exec,
 		weights: weights,
-		server:  randx.NewStream(cfg.Seed, 1),
+		server:  randx.NewSeedable(randx.DeriveSeed(cfg.Seed, 1)),
 		w:       make([]float64, dim),
 		policy:  cfg.RoundDeadline > 0 || cfg.MinReport > 0,
 	}
@@ -162,10 +162,15 @@ func (e *Engine) SetGlobal(w []float64) { copy(e.w, w) }
 // Round returns the number of completed global iterations.
 func (e *Engine) Round() int { return e.round }
 
-// SetRound fast-forwards the round counter (checkpoint resume). It does not
-// replay server RNG draws: a resumed run is statistically equivalent to,
-// not bit-identical with, an uninterrupted one (matching the documented
-// checkpoint semantics).
+// SetRound fast-forwards the round counter (checkpoint resume). No RNG
+// replay is needed: every stream — the server stream and each device's —
+// is re-keyed at the top of each round from a pure (seed, stream, round)
+// hash (randx.RoundSeed), so a resumed run's remaining rounds are
+// bit-identical to the same rounds of an uninterrupted run. This is the
+// property the crash-recovering job control plane (internal/jobs) builds
+// on: a coordinator restart at round t is indistinguishable from having
+// never died, and a mid-round kill is exactly a full-cohort dropout of
+// the round that never committed.
 func (e *Engine) SetRound(t int) { e.round = t }
 
 // Executor returns the current backend.
@@ -324,6 +329,15 @@ func (e *Engine) StepCtx(ctx context.Context) ([]int, int, error) {
 		t0 = time.Now()
 	}
 	e.round++
+	// Re-key the server stream for the round and align the executor (and
+	// its devices' streams) with the global round number. Both reseeds are
+	// pure functions of (seed, round): no draw made before this point —
+	// in this process or a previous coordinator incarnation — influences
+	// the round, which is what makes checkpoint resume bit-identical.
+	e.server.Seed(randx.RoundSeed(e.cfg.Seed, 1, int64(e.round)))
+	if rb, ok := e.exec.(RoundBeginner); ok {
+		rb.BeginRound(e.round)
+	}
 	if traced {
 		e.endRoundSpan() // a caller that skipped FlushStats leaves one open
 		e.roundSpan = e.tracer.StartRound(e.round)

@@ -26,6 +26,7 @@ type Device struct {
 	Solver *optim.Solver
 	RNG    *rand.Rand
 
+	seed  int64     // experiment seed BeginRound re-keys the stream from
 	local []float64 // last reported local model w_n^(s)
 	// gradEvals is atomic because a quorum-cut round's solve can still be
 	// finishing on a pool worker while the engine reads the counter.
@@ -39,8 +40,23 @@ func NewDevice(id int, shard *data.Dataset, m models.Model, seed int64) *Device 
 		ID:     id,
 		Shard:  shard,
 		Solver: optim.NewSolver(m.Clone()),
-		RNG:    randx.NewStream(seed, int64(id)+101),
+		RNG:    randx.NewSeedable(randx.DeriveSeed(seed, int64(id)+101)),
+		seed:   seed,
 		local:  make([]float64, m.Dim()),
+	}
+}
+
+// BeginRound re-keys the device's private RNG for global round t. The new
+// state is a pure function of (seed, id, round) — no history — so round
+// t's minibatch draws are identical whether the earlier rounds ran in this
+// process, on a TCP worker, or in a coordinator incarnation that has since
+// been SIGKILLed and restarted. This is what upgrades checkpoint resume
+// and worker rejoin from "statistically equivalent" to bit-identical.
+// Round 0 (no engine-numbered round) leaves the construction-time stream
+// untouched for callers that never number rounds (internal/async).
+func (d *Device) BeginRound(t int) {
+	if t > 0 {
+		d.RNG.Seed(randx.RoundSeed(d.seed, int64(d.ID)+101, int64(t)))
 	}
 }
 
@@ -112,6 +128,17 @@ type EvalCounter interface {
 	GradEvals() int64
 }
 
+// RoundBeginner is implemented by executors that align their internal
+// round numbering — and their devices' per-round RNG re-key (see
+// Device.BeginRound) — with the engine's counter. The engine calls it at
+// the top of every Step, before selection, so a resumed engine
+// (SetRound after checkpoint restore) drives the executor at the true
+// global round number instead of a private count restarted at 1.
+// Decorators (chaos, simnet, transport) forward the call inward.
+type RoundBeginner interface {
+	BeginRound(t int)
+}
+
 // Sequential runs the selected devices one after another on the calling
 // goroutine.
 type Sequential struct {
@@ -121,6 +148,7 @@ type Sequential struct {
 	statsOn    bool
 	lat        []obs.ClientStat
 	stragglers int
+	round      int // engine round (see BeginRound); 0 for unnumbered callers
 	tr         *trace.Tracer
 }
 
@@ -128,6 +156,9 @@ type Sequential struct {
 func NewSequential(devices []*Device, local optim.LocalConfig) *Sequential {
 	return &Sequential{devices: devices, local: local}
 }
+
+// BeginRound implements RoundBeginner.
+func (s *Sequential) BeginRound(t int) { s.round = t }
 
 // RunClients implements Executor.
 func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, error) {
@@ -138,7 +169,9 @@ func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, 
 		for i, id := range selected {
 			sp := s.tr.StartClient(id)
 			t0 := time.Now()
-			out[i] = s.devices[id].RunRound(anchor, s.local)
+			dev := s.devices[id]
+			dev.BeginRound(s.round)
+			out[i] = dev.RunRound(anchor, s.local)
 			d := time.Since(t0).Seconds()
 			sp.End()
 			s.lat[i] = obs.ClientStat{ID: id, Seconds: d, SolveSeconds: d}
@@ -147,7 +180,9 @@ func (s *Sequential) RunClients(anchor []float64, selected []int) ([][]float64, 
 	}
 	for i, id := range selected {
 		sp := s.tr.StartClient(id)
-		out[i] = s.devices[id].RunRound(anchor, s.local)
+		dev := s.devices[id]
+		dev.BeginRound(s.round)
+		out[i] = dev.RunRound(anchor, s.local)
 		sp.End()
 	}
 	return out, nil
@@ -177,13 +212,15 @@ func (s *Sequential) RunClientsCtx(ctx context.Context, anchor []float64, select
 			continue
 		}
 		sp := s.tr.StartClient(id)
+		dev := s.devices[id]
+		dev.BeginRound(s.round)
 		if s.statsOn {
 			t0 := time.Now()
-			out[i] = s.devices[id].RunRound(anchor, s.local)
+			out[i] = dev.RunRound(anchor, s.local)
 			d := time.Since(t0).Seconds()
 			s.lat[i] = obs.ClientStat{ID: id, Seconds: d, SolveSeconds: d}
 		} else {
-			out[i] = s.devices[id].RunRound(anchor, s.local)
+			out[i] = dev.RunRound(anchor, s.local)
 		}
 		sp.End()
 		reported++
@@ -259,6 +296,7 @@ type Parallel struct {
 	statsOn    bool
 	lat        []obs.ClientStat
 	stragglers int
+	round      int // engine round (see BeginRound); 0 for unnumbered callers
 	tr         *trace.Tracer
 }
 
@@ -314,8 +352,13 @@ func parWorker(jobs <-chan parJob) {
 	}
 }
 
+// BeginRound implements RoundBeginner.
+func (p *Parallel) BeginRound(t int) { p.round = t }
+
 // RunClients implements Executor. Results are bit-identical to Sequential
-// because every device owns a private RNG stream.
+// because every device owns a private RNG stream. Devices are re-keyed for
+// the round here, on the dispatching goroutine — the job-channel send
+// publishes the new RNG state to the pool worker.
 func (p *Parallel) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	out := growLocals(&p.buf, len(selected))
 	var lat []obs.ClientStat
@@ -326,7 +369,9 @@ func (p *Parallel) RunClients(anchor []float64, selected []int) ([][]float64, er
 	var wg sync.WaitGroup
 	wg.Add(len(selected))
 	for i, id := range selected {
-		p.jobs <- parJob{i: i, dev: p.devices[id], anchor: anchor, out: out, local: p.local, wg: &wg, lat: lat, tr: p.tr}
+		dev := p.devices[id]
+		dev.BeginRound(p.round)
+		p.jobs <- parJob{i: i, dev: dev, anchor: anchor, out: out, local: p.local, wg: &wg, lat: lat, tr: p.tr}
 	}
 	wg.Wait()
 	p.stragglers = 0
@@ -364,6 +409,9 @@ submit:
 		if !dev.busy.CompareAndSwap(false, true) {
 			continue // still finishing a cut round's solve
 		}
+		// Re-key only after winning the CAS: a device still solving a cut
+		// round must not have its stream reset underneath the late solve.
+		dev.BeginRound(p.round)
 		j := parJob{i: i, dev: dev, anchor: anchor, local: p.local, res: res, stats: p.statsOn, tr: p.tr}
 		select {
 		case p.jobs <- j:

@@ -1,0 +1,55 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus makes the Manager an obs.MetricsWriter: the control
+// plane's gauges ride on the same /metrics endpoint as the engine's
+// registry, under a fed_jobs_ prefix.
+//
+//	fed_jobs_epoch                   manager incarnation (lease epoch)
+//	fed_jobs_total                   jobs registered (all states)
+//	fed_jobs_state{state="..."}      jobs currently in each lifecycle state
+//	fed_jobs_round{job="..."}        per-job last completed round
+//	fed_jobs_rounds_target{job="..."} per-job configured total rounds
+func (m *Manager) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "# TYPE fed_jobs_epoch gauge\nfed_jobs_epoch %d\n", m.epoch); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE fed_jobs_total gauge\nfed_jobs_total %d\n", len(m.order)); err != nil {
+		return err
+	}
+	counts := map[State]int{Pending: 0, Running: 0, Done: 0, Failed: 0, Cancelled: 0}
+	for _, j := range m.jobs {
+		counts[j.manifest.State]++
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE fed_jobs_state gauge\n"); err != nil {
+		return err
+	}
+	for _, s := range []State{Pending, Running, Done, Failed, Cancelled} {
+		if _, err := fmt.Fprintf(w, "fed_jobs_state{state=%q} %d\n", s, counts[s]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE fed_jobs_round gauge\n"); err != nil {
+		return err
+	}
+	for _, id := range m.order {
+		if _, err := fmt.Fprintf(w, "fed_jobs_round{job=%q} %d\n", id, m.jobs[id].round); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE fed_jobs_rounds_target gauge\n"); err != nil {
+		return err
+	}
+	for _, id := range m.order {
+		if _, err := fmt.Fprintf(w, "fed_jobs_rounds_target{job=%q} %d\n", id, m.jobs[id].spec.Rounds); err != nil {
+			return err
+		}
+	}
+	return nil
+}

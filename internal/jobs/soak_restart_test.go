@@ -1,0 +1,219 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSoakRestart is the kill-the-coordinator soak: a real fedserver
+// process runs the control plane over a durable state directory, three
+// jobs are submitted over the HTTP API, and the process is SIGKILLed —
+// no warning, no flush — every time the fleet makes K rounds of progress,
+// then restarted. Every job must still reach DONE with a final model
+// bit-identical to its uninterrupted in-process reference.
+//
+// Gated by SOAK_RESTART_ROUNDS (the kill cadence K), like the chaos soak:
+//
+//	SOAK_RESTART_ROUNDS=5 go test -race -run SoakRestart ./internal/jobs/
+func TestSoakRestart(t *testing.T) {
+	cadence := 0
+	if v := os.Getenv("SOAK_RESTART_ROUNDS"); v != "" {
+		var err error
+		if cadence, err = strconv.Atoi(v); err != nil || cadence < 1 {
+			t.Fatalf("bad SOAK_RESTART_ROUNDS %q", v)
+		}
+	}
+	if cadence == 0 {
+		t.Skip("set SOAK_RESTART_ROUNDS to run the coordinator-kill soak")
+	}
+
+	bin := filepath.Join(t.TempDir(), "fedserver")
+	build := exec.Command("go", "build", "-o", bin, "fedproxvr/cmd/fedserver")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build fedserver: %v", err)
+	}
+
+	specs := []Spec{
+		testSpec("kill-a", 20),
+		testSpec("kill-b", 24),
+		testSpec("kill-c", 16),
+	}
+	specs[1].Seed = 31
+	specs[2].Seed = 57
+	specs[2].DropoutProb = 0.25
+	want := make(map[string][]float64)
+	for _, sp := range specs {
+		want[sp.ID] = directRun(t, sp)
+	}
+
+	stateDir := t.TempDir()
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	srv := startServer(t, bin, stateDir, addr)
+	defer func() {
+		if srv != nil && srv.Process != nil {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+
+	for _, sp := range specs {
+		body, _ := json.Marshal(sp)
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit %s: %v", sp.ID, err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit %s: %d: %s", sp.ID, resp.StatusCode, msg)
+		}
+		resp.Body.Close()
+	}
+
+	// Kill loop: SIGKILL the coordinator every `cadence` rounds of total
+	// fleet progress, restart it on the same state dir, repeat until every
+	// job is DONE. The deadline bounds a recovery bug that stops progress.
+	deadline := time.Now().Add(5 * time.Minute)
+	lastKill, kills := 0, 0
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet not done after %d kills; last statuses: %+v", kills, fetchJobs(t, base))
+		}
+		time.Sleep(20 * time.Millisecond)
+		list, err := tryFetchJobs(base)
+		if err != nil {
+			continue // coordinator mid-restart
+		}
+		total, done := 0, 0
+		for _, st := range list {
+			if st.State == Failed {
+				t.Fatalf("job %s FAILED: %s", st.ID, st.Error)
+			}
+			total += st.Round
+			if st.State == Done {
+				done++
+			}
+		}
+		if done == len(specs) {
+			break
+		}
+		if total-lastKill >= cadence {
+			kills++
+			lastKill = total
+			if err := srv.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			srv.Wait()
+			srv = startServer(t, bin, stateDir, addr)
+		}
+	}
+	if kills == 0 {
+		t.Fatalf("soak finished without a single kill — raise job rounds or lower SOAK_RESTART_ROUNDS=%d", cadence)
+	}
+	t.Logf("fleet done after %d SIGKILLs", kills)
+
+	// Bit-identity: each job's durable checkpoint must match its
+	// uninterrupted in-process run exactly, kills notwithstanding.
+	store, err := OpenStore(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		ck, err := store.LoadCheckpoint(sp.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck.Round != sp.Rounds {
+			t.Fatalf("job %s checkpoint at round %d, want %d", sp.ID, ck.Round, sp.Rounds)
+		}
+		if !reflect.DeepEqual(ck.Global, want[sp.ID]) {
+			t.Fatalf("job %s not bit-identical after %d kills", sp.ID, kills)
+		}
+	}
+
+	// The admin endpoint must expose the per-job gauges.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "fed_jobs_round{job=\"kill-a\"}") {
+		t.Fatalf("/metrics missing fed_jobs_ gauges:\n%s", body)
+	}
+}
+
+// startServer launches fedserver in jobs mode and waits for its admin
+// endpoint to answer.
+func startServer(t *testing.T, bin, stateDir, addr string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-state-dir", stateDir, "-admin", addr, "-slots", "2", "-max-jobs", "8")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := http.Get("http://" + addr + "/jobs"); err == nil {
+			resp.Body.Close()
+			return cmd
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("fedserver admin endpoint never came up")
+	return nil
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func tryFetchJobs(base string) ([]Status, error) {
+	client := http.Client{Timeout: time.Second}
+	resp, err := client.Get(base + "/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /jobs: %d", resp.StatusCode)
+	}
+	var list []Status
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+func fetchJobs(t *testing.T, base string) []Status {
+	t.Helper()
+	list, err := tryFetchJobs(base)
+	if err != nil {
+		t.Logf("fetch jobs: %v", err)
+	}
+	return list
+}

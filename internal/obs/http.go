@@ -3,11 +3,20 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
+
+// MetricsWriter emits extra Prometheus text-exposition lines appended to
+// /metrics after the registry's own series — how the jobs control plane
+// publishes its per-job fed_jobs_* gauges on the same scrape endpoint.
+type MetricsWriter interface {
+	WritePrometheus(w io.Writer) error
+}
 
 // AdminOptions tunes the admin mux endpoints.
 type AdminOptions struct {
@@ -17,6 +26,12 @@ type AdminOptions struct {
 	// probing healthy. 0 (the default) disables the staleness check. A run
 	// that has not completed its first round is never considered stale.
 	StaleAfter time.Duration
+	// Extra expositors are appended to /metrics after the registry's
+	// series, in order.
+	Extra []MetricsWriter
+	// Mounts adds handlers to the admin mux by pattern — e.g. the jobs API
+	// at "/jobs" and "/jobs/" (which also serves per-job healthz).
+	Mounts map[string]http.Handler
 }
 
 // NewAdminMux builds the coordinator's admin endpoint: the registry's
@@ -28,7 +43,21 @@ type AdminOptions struct {
 // exposing pprof on any other server the process runs.
 func NewAdminMux(reg *Registry, opt AdminOptions) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg)
+	if len(opt.Extra) == 0 {
+		mux.Handle("/metrics", reg)
+	} else {
+		extra := opt.Extra
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+			for _, mw := range extra {
+				_ = mw.WritePrometheus(w)
+			}
+		})
+	}
+	for pattern, h := range opt.Mounts {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		// The historical keys ("status", "round") keep their shape; the age
@@ -55,6 +84,38 @@ func NewAdminMux(reg *Registry, opt AdminOptions) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// Admin is a stable http.Handler whose backing mux can be swapped while a
+// server keeps serving it. http.ServeMux registration is append-only — a
+// process that restarts its coordinator in place (crash-recovery tests,
+// rolling in-process restarts) cannot re-register /metrics on a shared
+// mux. Admin makes registration idempotent instead: each Rebind builds a
+// fresh per-instance mux via NewAdminMux and publishes it atomically, so
+// the listener, the URL space and any in-flight requests are undisturbed
+// while the restarted coordinator's fresh Registry takes over the
+// endpoints.
+type Admin struct {
+	cur atomic.Pointer[http.ServeMux]
+}
+
+// NewAdmin builds an Admin serving reg with opt (see NewAdminMux).
+func NewAdmin(reg *Registry, opt AdminOptions) *Admin {
+	a := &Admin{}
+	a.Rebind(reg, opt)
+	return a
+}
+
+// Rebind atomically replaces the backing mux with a fresh one over reg and
+// opt. Safe to call concurrently with request serving; requests already
+// dispatched finish against the mux they started on.
+func (a *Admin) Rebind(reg *Registry, opt AdminOptions) {
+	a.cur.Store(NewAdminMux(reg, opt))
+}
+
+// ServeHTTP implements http.Handler.
+func (a *Admin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.cur.Load().ServeHTTP(w, r)
 }
 
 // buildInfo is the /buildz document: enough to identify a deployed binary

@@ -41,6 +41,54 @@ func ActivationUniform(seed int64, round, id int) float64 {
 	return float64(z>>11) / (1 << 53)
 }
 
+// RoundSeed derives the deterministic reseed value for stream `stream` at
+// global round `round` of a run seeded with `seed`. Like ActivationUniform
+// it is a counter-based hash — no generator state is consumed — so any
+// process (coordinator, worker, aggregation-tree shard, or a restarted
+// coordinator resuming a job from its checkpoint) computes the identical
+// value independently. This is the primitive behind bit-identical crash
+// recovery: a stream reseeded from (seed, stream, round) at every round
+// boundary carries no history, so round t's draws are the same whether
+// rounds 1..t-1 ran in this process or a previous incarnation. The domain
+// constant decorrelates the hash from ActivationUniform at equal
+// (seed, round, id) inputs.
+func RoundSeed(seed, stream, round int64) int64 {
+	z := splitMix64(uint64(seed) ^ 0x5bf03635dcd54e45)
+	z = splitMix64(z ^ uint64(round)*0x9e3779b97f4a7c15)
+	z = splitMix64(z ^ uint64(stream)*0xbf58476d1ce4e5b9)
+	return int64(z)
+}
+
+// sm64Source is a rand.Source64 over the splitMix64 sequence. Unlike
+// rand.NewSource's additive lagged-Fibonacci generator — whose Seed
+// recomputes a 607-word table — reseeding is O(1), which lets every device
+// reseed its stream at every round boundary without measurable cost (see
+// engine.Device.BeginRound and BenchmarkEngineRoundAllocs).
+type sm64Source struct{ state uint64 }
+
+// Seed implements rand.Source.
+func (s *sm64Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// Int63 implements rand.Source.
+func (s *sm64Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Uint64 implements rand.Source64: one splitMix64 step.
+func (s *sm64Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewSeedable returns a rand.Rand over an O(1)-reseed splitMix64 source,
+// for streams that are re-keyed every round via RoundSeed.
+func NewSeedable(seed int64) *rand.Rand {
+	s := &sm64Source{}
+	s.Seed(seed)
+	return rand.New(s)
+}
+
 // New returns a rand.Rand seeded with seed.
 func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 

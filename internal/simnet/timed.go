@@ -144,6 +144,15 @@ func (x *TimedExecutor) charge() {
 	}
 }
 
+// BeginRound implements engine.RoundBeginner by forwarding the engine's
+// round number to the inner executor (device RNG re-key); the simulated
+// clock itself is unaffected.
+func (x *TimedExecutor) BeginRound(t int) {
+	if rb, ok := x.inner.(engine.RoundBeginner); ok {
+		rb.BeginRound(t)
+	}
+}
+
 // Stragglers implements engine.StragglerCounter when the inner executor
 // does.
 func (x *TimedExecutor) Stragglers() int {

@@ -241,6 +241,7 @@ func (n *AggregatorNode) solveRound(req *RoundRequest) *PartialSum {
 			if req.ActivateProb > 0 && !engine.Activated(n.seed, req.Round, n.lo+i, req.ActivateProb) {
 				continue
 			}
+			dev.BeginRound(req.Round)
 			local := dev.RunRound(anchor, req.Local)
 			mathx.Axpy(n.counts[i], local, n.partial)
 			ps.Weight += n.counts[i]

@@ -52,6 +52,10 @@ type clientConn struct {
 	lo    int
 	ndev  int
 	ps    PartialSum
+	// Lease offered in the Hello (zero when the worker holds none) —
+	// checked against the coordinator's own lease by leaseCheck.
+	jobID string
+	epoch int64
 	// Legacy gob wire.
 	enc  *gob.Encoder
 	dec  *gob.Decoder
@@ -113,6 +117,7 @@ func handshake(conn net.Conn, timeout time.Duration) (*clientConn, error) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	cc.id, cc.samples = hello.ClientID, hello.NumSamples
+	cc.jobID, cc.epoch = hello.JobID, hello.Epoch
 	return cc, nil
 }
 
@@ -171,6 +176,13 @@ type Coordinator struct {
 	// each round on the coordinator goroutine + the per-child fan-out
 	// goroutine that owns the slot. The root's state is O(model + shards) —
 	// it never holds per-device anything.
+	// Lease identity (jobs control plane): when set, only workers whose
+	// Hello carries exactly (leaseJob, leaseEpoch) are admitted — at
+	// construction and through the rejoin path alike. Immutable after
+	// construction; see leaseCheck.
+	leaseJob   string
+	leaseEpoch int64
+
 	tree            bool
 	actProb         float64
 	treeWeight      []float64
@@ -284,7 +296,20 @@ func NewCoordinator(addr string, numClients int, timeout time.Duration) (*Coordi
 // legacy gob workers may mix freely in one cohort (the wire format is
 // per-connection).
 func NewCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration) (*Coordinator, error) {
-	return newCoordinatorOn(ln, numClients, timeout, false)
+	return newCoordinatorOn(ln, numClients, timeout, false, "", 0)
+}
+
+// NewLeasedCoordinatorOn is NewCoordinatorOn for one jobs-control-plane
+// coordinator incarnation: a worker is admitted — at construction and via
+// the rejoin path — only when its Hello offers exactly (jobID, epoch). A
+// framed worker with a stale lease is answered with a LeaseReject frame
+// carrying the current values before its connection closes, so it adopts
+// them and re-Hello's through its rejoin loop; this is the fence that
+// keeps a worker leased to a dead incarnation from silently joining the
+// next one's rounds. Epoch 0 with an empty jobID means no lease
+// (equivalent to NewCoordinatorOn).
+func NewLeasedCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration, jobID string, epoch int64) (*Coordinator, error) {
+	return newCoordinatorOn(ln, numClients, timeout, false, jobID, epoch)
 }
 
 // NewTreeCoordinator is NewCoordinator for an aggregation tree: it waits for
@@ -304,20 +329,22 @@ func NewTreeCoordinator(addr string, numShards int, timeout time.Duration) (*Coo
 // makes the tree bit-identical to a flat ShardedMean over the same map.
 // Tree mode is framed-only and CodecFloat64-only (partial sums are exact).
 func NewTreeCoordinatorOn(ln net.Listener, numShards int, timeout time.Duration) (*Coordinator, error) {
-	return newCoordinatorOn(ln, numShards, timeout, true)
+	return newCoordinatorOn(ln, numShards, timeout, true, "", 0)
 }
 
-func newCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration, tree bool) (*Coordinator, error) {
+func newCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration, tree bool, leaseJob string, leaseEpoch int64) (*Coordinator, error) {
 	if numClients <= 0 {
 		ln.Close()
 		return nil, fmt.Errorf("transport: need at least one client")
 	}
 	c := &Coordinator{
-		ln:      ln,
-		timeout: timeout,
-		fault:   DefaultFaultPolicy(),
-		pending: make(map[int]*clientConn),
-		tree:    tree,
+		ln:         ln,
+		timeout:    timeout,
+		fault:      DefaultFaultPolicy(),
+		pending:    make(map[int]*clientConn),
+		tree:       tree,
+		leaseJob:   leaseJob,
+		leaseEpoch: leaseEpoch,
 	}
 	c.rejoined = sync.NewCond(&c.mu)
 	seen := make(map[int]bool)
@@ -332,6 +359,12 @@ func newCoordinatorOn(ln net.Listener, numClients int, timeout time.Duration, tr
 			conn.Close()
 			c.Close()
 			return nil, err
+		}
+		if !c.leaseCheck(cc) {
+			// A stale-leased worker is told the current lease and closed;
+			// it re-Hello's with the adopted values, so keep collecting
+			// rather than aborting construction.
+			continue
 		}
 		if cc.id < 0 || cc.id >= numClients || seen[cc.id] {
 			conn.Close()
@@ -417,6 +450,9 @@ func (c *Coordinator) handleRejoin(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	if !c.leaseCheck(cc) {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cc.id < 0 || cc.id >= len(c.clients) {
@@ -434,6 +470,28 @@ func (c *Coordinator) handleRejoin(conn net.Conn) {
 	}
 	c.pending[cc.id] = cc
 	c.rejoined.Broadcast()
+}
+
+// leaseCheck enforces the lease fence on a freshly handshaked connection.
+// A coordinator without a lease admits everyone. With one, a mismatched
+// Hello is rejected: a framed flat worker is first told the current lease
+// in a LeaseReject frame (so it adopts the values and re-Hello's through
+// its rejoin loop), then the connection closes. Returns whether the
+// connection was admitted; on false the connection is already closed.
+// leaseJob/leaseEpoch are immutable after construction, so no lock.
+func (c *Coordinator) leaseCheck(cc *clientConn) bool {
+	if c.leaseJob == "" && c.leaseEpoch == 0 {
+		return true
+	}
+	if cc.jobID == c.leaseJob && cc.epoch == c.leaseEpoch {
+		return true
+	}
+	if cc.framed && !cc.isAgg {
+		frame := marshalLeaseReject(nil, &LeaseReject{JobID: c.leaseJob, Epoch: c.leaseEpoch})
+		_ = cc.fw.writeFrame(frame)
+	}
+	cc.conn.Close()
+	return false
 }
 
 // adoptRejoined swaps pending replacement connections into the cohort.
@@ -1032,6 +1090,7 @@ type Executor struct {
 	c     *Coordinator
 	local optim.LocalConfig
 	round int
+	ext   int // round set by BeginRound for the next run; 0 = self-count
 	buf   [][]float64
 	evals []int64
 
@@ -1063,8 +1122,19 @@ func (x *Executor) RunClientsCtx(ctx context.Context, anchor []float64, selected
 	return x.run(ctx, anchor, selected, minReport)
 }
 
+// BeginRound implements engine.RoundBeginner: the wire round number (which
+// workers re-key their device RNG streams from) follows the engine's
+// counter, so a coordinator resuming a checkpointed job at round t sends
+// round t — not a private count restarted at 1 — and every worker's
+// round-t draws match the uninterrupted run's.
+func (x *Executor) BeginRound(t int) { x.ext = t }
+
 func (x *Executor) run(ctx context.Context, anchor []float64, selected []int, quorum int) ([][]float64, error) {
-	x.round++
+	if x.ext > 0 {
+		x.round, x.ext = x.ext, 0
+	} else {
+		x.round++
+	}
 	if cap(x.buf) < len(selected) {
 		x.buf = make([][]float64, len(selected))
 	}

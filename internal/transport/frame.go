@@ -11,8 +11,9 @@ package transport
 //
 //	magic(0xFE) | type(u8) | payloadLen(u32 LE) | payload
 //
-// with five frame types: Hello, RoundRequest, RoundReply, and the
-// aggregation-tree pair AggHello and PartialSum. All integers are
+// with six frame types: Hello, RoundRequest, RoundReply, the
+// aggregation-tree pair AggHello and PartialSum, and the jobs control
+// plane's LeaseReject. All integers are
 // little-endian; floats are IEEE-754 bits (float64 vectors round-trip
 // bit-exactly, keeping the conformance suites bit-identical in
 // CodecFloat64). The magic byte doubles as the wire-format handshake: gob
@@ -23,6 +24,9 @@ package transport
 // Payload layouts (all fields fixed-width unless marked uvarint):
 //
 //	Hello        version(u8) clientID(i32) numSamples(i32)
+//	             -- lease extension, present only when a lease is held:
+//	             epoch(i64) jobLen(uvarint) jobID
+//	LeaseReject  version(u8) epoch(i64) jobLen(uvarint) jobID
 //	AggHello     version(u8) shardID(i32) loDevice(i32) numDevices(i32)
 //	             numSamples(i64)
 //	RoundRequest round(u32) flags(u8) codec(u8) topK(u32)
@@ -87,6 +91,7 @@ const (
 	msgRoundReply   = 3
 	msgAggHello     = 4
 	msgPartialSum   = 5
+	msgLeaseReject  = 6
 
 	frameHeaderSize = 6
 	// maxFramePayload bounds decoder allocation against a corrupt or
@@ -262,6 +267,26 @@ func marshalHello(dst []byte, h *Hello) []byte {
 	w.u8(frameVersion)
 	w.i32(int32(h.ClientID))
 	w.i32(int32(h.NumSamples))
+	// Lease extension: written only when a lease is held, so an unleased
+	// worker's Hello is byte-identical to the pre-lease wire.
+	if h.Epoch != 0 || h.JobID != "" {
+		w.i64(h.Epoch)
+		w.uvarint(uint64(len(h.JobID)))
+		w.bytes([]byte(h.JobID))
+	}
+	w.endFrame(body)
+	return w.b
+}
+
+// marshalLeaseReject appends a LeaseReject frame to dst — the coordinator's
+// answer to a Hello whose lease is stale.
+func marshalLeaseReject(dst []byte, lr *LeaseReject) []byte {
+	w := wireBuf{b: dst}
+	body := w.beginFrame(msgLeaseReject)
+	w.u8(frameVersion)
+	w.i64(lr.Epoch)
+	w.uvarint(uint64(len(lr.JobID)))
+	w.bytes([]byte(lr.JobID))
 	w.endFrame(body)
 	return w.b
 }
@@ -535,11 +560,18 @@ func deltaInto(scratch, v, ref []float64) []float64 {
 // ---------------------------------------------------------------------------
 // Unmarshalling
 
-// unmarshalHello decodes a Hello payload.
+// unmarshalHello decodes a Hello payload. The lease extension is
+// length-gated, not version-gated: a 9-byte payload is a pre-lease Hello
+// (zero lease), a longer one carries epoch + job ID. Both decode forever.
 func unmarshalHello(p []byte) (Hello, error) {
 	c := wireCursor{b: p}
 	v := c.u8("hello version")
 	h := Hello{ClientID: int(c.i32("hello client id")), NumSamples: int(c.i32("hello samples"))}
+	if c.err == nil && c.off < len(c.b) {
+		h.Epoch = c.i64("hello lease epoch")
+		n := int(c.uvarint("hello job id length"))
+		h.JobID = string(c.take(n, "hello job id"))
+	}
 	if err := c.done(); err != nil {
 		return Hello{}, err
 	}
@@ -547,6 +579,22 @@ func unmarshalHello(p []byte) (Hello, error) {
 		return Hello{}, errFrame("unsupported protocol version %d", v)
 	}
 	return h, nil
+}
+
+// unmarshalLeaseReject decodes a LeaseReject payload.
+func unmarshalLeaseReject(p []byte) (LeaseReject, error) {
+	c := wireCursor{b: p}
+	v := c.u8("lease reject version")
+	lr := LeaseReject{Epoch: c.i64("lease reject epoch")}
+	n := int(c.uvarint("lease reject job id length"))
+	lr.JobID = string(c.take(n, "lease reject job id"))
+	if err := c.done(); err != nil {
+		return LeaseReject{}, err
+	}
+	if v != frameVersion {
+		return LeaseReject{}, errFrame("unsupported protocol version %d", v)
+	}
+	return lr, nil
 }
 
 // unmarshalAggHello decodes an AggHello payload.

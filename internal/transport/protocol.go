@@ -30,6 +30,25 @@ import (
 type Hello struct {
 	ClientID   int
 	NumSamples int
+
+	// Lease fields (jobs control plane, framed wire): the worker offers to
+	// serve job JobID under coordinator incarnation Epoch. A coordinator
+	// running with a lease rejects a mismatched Epoch with a LeaseReject
+	// frame carrying the current values, and the worker re-Hello's with
+	// them through its rejoin loop — the fence that keeps a worker leased
+	// to a dead coordinator incarnation from silently joining the next
+	// one's rounds. Zero values mean "no lease" (the historical wire).
+	JobID string
+	Epoch int64
+}
+
+// LeaseReject is the coordinator's answer to a Hello whose lease is stale:
+// it names the job and lease epoch the coordinator is currently serving,
+// and the connection closes. The worker adopts the told values and
+// re-Hello's (framed wire only; gob peers predate leases).
+type LeaseReject struct {
+	JobID string
+	Epoch int64
 }
 
 // AggHello is the first message an aggregation-tree shard node sends after

@@ -305,6 +305,10 @@ type dropShardExec struct {
 	sub    []int
 }
 
+// BeginRound forwards the engine's round number inward so the wrapped
+// executor re-keys its devices exactly like the tree shards it stands for.
+func (d *dropShardExec) BeginRound(t int) { d.inner.BeginRound(t) }
+
 func (d *dropShardExec) RunClients(anchor []float64, selected []int) ([][]float64, error) {
 	d.round++
 	if d.round != d.at {

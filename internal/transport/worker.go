@@ -59,6 +59,12 @@ type Worker struct {
 	// coordinator's retry of the same round succeeds (flake-once semantics).
 	flaked map[int]bool
 
+	// Lease (jobs control plane, framed wire): offered in every Hello.
+	// When the coordinator answers with a LeaseReject, the worker adopts
+	// the told values before re-dialing — see recvRequest and lost.
+	leaseJob   string
+	leaseEpoch int64
+
 	// Rejoin policy: after an unclean connection loss the worker re-dials
 	// the coordinator up to rejoinAttempts times, spaced by rejoinBackoff,
 	// and is adopted back at the next round boundary. Zero attempts keeps
@@ -88,10 +94,12 @@ func (w *Worker) ForceCodec(c Codec) { w.forced, w.forceOn = c, true }
 // NewWorker connects to addr and performs the Hello handshake. The same
 // call is the rejoin path: a worker restarted after a crash dials the
 // coordinator again with its old client ID and shard, and is adopted back
-// into the cohort at the next round boundary. Its device RNG stream
-// restarts from the seed, so a run with a rejoined worker is statistically
-// equivalent to, not bit-identical with, an uninterrupted one (matching
-// the documented checkpoint-resume semantics).
+// into the cohort at the next round boundary. The device RNG is re-keyed
+// from each request's round number (a pure (seed, id, round) hash — see
+// engine.Device.BeginRound), so a restarted worker's draws for round t are
+// identical to the original process's: a run with a rejoined worker is
+// bit-identical to the equivalent scripted-dropout run, and survives a
+// coordinator restart the same way.
 func NewWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64) (*Worker, error) {
 	return newWorker(addr, id, shard, m, seed, nil, false)
 }
@@ -117,6 +125,31 @@ func NewGobWorker(addr string, id int, shard *data.Dataset, m models.Model, seed
 // than permanent losses; tune with SetRejoin.
 func NewChaosWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, sched *chaos.Schedule) (*Worker, error) {
 	return newWorker(addr, id, shard, m, seed, sched, false)
+}
+
+// NewLeasedWorker is NewWorker for the jobs control plane: every Hello
+// offers (jobID, epoch), and a coordinator incarnation holding a different
+// lease answers with a LeaseReject naming its own — the worker adopts the
+// told values and re-Hello's through its rejoin loop, so a worker leased
+// to a dead incarnation is fenced out of the next one until it rejoins
+// under the new epoch. Leased workers default to a persistent rejoin
+// policy (40 attempts, 25ms apart — tune with SetRejoin): surviving the
+// coordinator restart is their whole point. Framed wire only.
+func NewLeasedWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, jobID string, epoch int64) (*Worker, error) {
+	w := &Worker{
+		id:             id,
+		device:         core.NewDevice(id, shard, m, seed),
+		shard:          shard,
+		addr:           addr,
+		leaseJob:       jobID,
+		leaseEpoch:     epoch,
+		rejoinAttempts: 40,
+		rejoinBackoff:  25 * time.Millisecond,
+	}
+	if err := w.dial(); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 func newWorker(addr string, id int, shard *data.Dataset, m models.Model, seed int64, sched *chaos.Schedule, gobWire bool) (*Worker, error) {
@@ -173,13 +206,22 @@ func (w *Worker) dial() error {
 	}
 	w.fw = frameWriter{w: w.conn}
 	w.fr = frameReader{r: bufio.NewReader(w.conn)}
-	w.wbuf = marshalHello(w.wbuf[:0], &Hello{ClientID: w.id, NumSamples: w.shard.N()})
+	w.wbuf = marshalHello(w.wbuf[:0], &Hello{
+		ClientID: w.id, NumSamples: w.shard.N(),
+		JobID: w.leaseJob, Epoch: w.leaseEpoch,
+	})
 	if err := w.fw.writeFrame(w.wbuf); err != nil {
 		conn.Close()
 		return protocolError("hello", err)
 	}
 	return nil
 }
+
+// errStaleLease is returned by recvRequest when the coordinator answered
+// the Hello with a LeaseReject. The worker has already adopted the told
+// (job, epoch) by then, so the normal lost() path — re-dial, re-Hello —
+// performs the lease renewal with no extra machinery.
+var errStaleLease = errors.New("transport: lease is stale")
 
 // recvRequest reads the next round request off the wire into w.req
 // (overwriting every field on the framed wire; the gob path decodes into a
@@ -193,10 +235,19 @@ func (w *Worker) recvRequest() error {
 	if err != nil {
 		return err
 	}
-	if typ != msgRoundRequest {
+	switch typ {
+	case msgRoundRequest:
+		return unmarshalRequest(payload, &w.req)
+	case msgLeaseReject:
+		lr, err := unmarshalLeaseReject(payload)
+		if err != nil {
+			return err
+		}
+		w.leaseJob, w.leaseEpoch = lr.JobID, lr.Epoch
+		return errStaleLease
+	default:
 		return errFrame("expected round request, got frame type %d", typ)
 	}
-	return unmarshalRequest(payload, &w.req)
 }
 
 // sendReply writes rep in the connection's wire format. ref is the decoded
@@ -302,6 +353,10 @@ func (w *Worker) serveConn() (rejoin bool, err error) {
 				defer w.device.Solver.SetPhaseHook(nil)
 			}
 			start := time.Now()
+			// Re-key the device stream from the wire round number: round t's
+			// draws are a pure (seed, id, round) hash, identical whether this
+			// worker process has served rounds 1..t-1 or just rejoined.
+			w.device.BeginRound(req.Round)
 			local := w.device.RunRound(anchor, req.Local)
 			rep.SolveSeconds = time.Since(start).Seconds()
 			if traceOn {
