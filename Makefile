@@ -10,7 +10,7 @@ TESTFLAGS ?= -timeout 120s
 # race-enabled targets carry their own, larger guard.
 RACE_TESTFLAGS ?= -timeout 900s
 
-.PHONY: build test vet fmt race check bench bench-all benchgate chaos soak-restart trace-demo fuzz
+.PHONY: build test vet fmt race check expolint bench bench-all benchgate chaos soak-restart trace-demo fuzz
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,23 @@ fmt:
 race:
 	$(GO) test -race $(RACE_TESTFLAGS) ./...
 
-# check is the CI gate: formatting, static analysis, the race-enabled suite,
-# and the benchmark regression gate against the committed snapshot. The
-# race-enabled suite replays the FuzzFrameDecode seed corpus (plain `go
-# test` runs f.Add seeds), so every committed frame-decoder regression
-# input is exercised on each CI run; `make fuzz` explores beyond the seeds.
-check: fmt vet race benchgate
+# expolint runs every /metrics exposition hygiene test in one fast pass:
+# the engine registry golden, the Go runtime series, and the jobs- and
+# telemetry-hub WritePrometheus implementations are all held to
+# obs.LintExposition (HELP/TYPE on every family, counters end _total,
+# gauges don't). The same tests run inside `race`; this target is the
+# quick local gate after touching any exposition writer.
+expolint:
+	$(GO) test $(TESTFLAGS) -run 'Lint|Exposition|Prometheus' \
+		./internal/obs/ ./internal/jobs/ ./internal/telemetry/
+
+# check is the CI gate: formatting, static analysis, the exposition lint,
+# the race-enabled suite, and the benchmark regression gate against the
+# committed snapshot. The race-enabled suite replays the FuzzFrameDecode
+# seed corpus (plain `go test` runs f.Add seeds), so every committed
+# frame-decoder regression input is exercised on each CI run; `make fuzz`
+# explores beyond the seeds.
+check: fmt vet expolint race benchgate
 
 # fuzz runs coverage-guided exploration of the wire-frame decoders. The
 # decoders sit directly on the network, so any input must decode or error —

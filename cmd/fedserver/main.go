@@ -29,51 +29,71 @@ import (
 	"fedproxvr/internal/engine"
 	"fedproxvr/internal/jobs"
 	"fedproxvr/internal/obs"
+	"fedproxvr/internal/telemetry"
 	"fedproxvr/internal/trace"
 	"fedproxvr/internal/transport"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7070", "listen address")
-		devices  = flag.Int("devices", 3, "number of workers to wait for")
-		dataset  = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
-		samples  = flag.Int("samples", 120, "image samples per class (image datasets)")
-		alg      = flag.String("alg", "sarah", "fedavg | fedprox | svrg | sarah")
-		beta     = flag.Float64("beta", 5, "step-size parameter β")
-		tau      = flag.Int("tau", 20, "local iterations τ")
-		mu       = flag.Float64("mu", 0.1, "proximal penalty μ")
-		batch    = flag.Int("batch", 16, "mini-batch size B")
-		rounds   = flag.Int("rounds", 50, "global iterations T")
-		fraction = flag.Float64("fraction", 1, "fraction of workers contacted per round")
-		dropout  = flag.Float64("dropout", 0, "per-round simulated report-failure probability")
-		seed     = flag.Int64("seed", 2020, "shared experiment seed")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message network timeout")
-		retries  = flag.Int("retries", 1, "per-round retries for a worker's application-level failure")
-		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before each retry")
-		quorum   = flag.Int("quorum", 1, "minimum workers that must report, or the round is skipped")
-		maxSkip  = flag.Int("max-failed-rounds", 3, "consecutive sub-quorum rounds tolerated before aborting")
-		admin    = flag.String("admin", "", "HTTP admin address serving /metrics, /healthz, /buildz, /debug/pprof/ (empty = off)")
-		staleAft = flag.Duration("health-stale-after", 0, "/healthz reports stale (503) this long after the last round (0 = off)")
-		tracePth = flag.String("trace", "", "write one JSONL system record per round to this path")
-		spansPth = flag.String("trace-spans", "", "write a Chrome trace-event JSON (open in Perfetto) to this path")
-		spanLog  = flag.String("span-log", "", "write the span trace as JSONL to this path")
-		deadline = flag.Duration("round-deadline", 0, "cut each round after this wall-clock budget (0 = wait for everyone)")
-		minRep   = flag.Int("min-report", 0, "cut each round once this many workers reported (0 = wait for everyone)")
-		codecStr = flag.String("codec", "float64", "wire codec: float64 | float32 | int16 | int8 | topk-delta")
-		topkFrac = flag.Float64("topk-frac", transport.DefaultTopKFraction, "fraction of delta coordinates kept per round under -codec topk-delta")
-		fanout   = flag.Int("tree-fanout", 0, "run an aggregation tree over this many shard nodes instead of flat workers (0 = flat)")
-		virtDev  = flag.Int("virtual-devices", 0, "total virtual devices the tree drives, split contiguously across the shard nodes (tree mode only)")
-		actProb  = flag.Float64("activate-prob", 0, "per-device per-round activation probability (0 = deterministic selection via -fraction)")
-		stateDir = flag.String("state-dir", "", "durable job state directory: run the multi-job control plane (jobs submitted over -admin's /jobs API) instead of a single TCP round loop")
-		maxJobs  = flag.Int("max-jobs", 8, "live jobs admitted before POST /jobs returns 429 (with -state-dir)")
-		slots    = flag.Int("slots", 1, "jobs training a round concurrently (with -state-dir)")
-		jobLease = flag.String("job", "", "lease this coordinator to one job ID; workers must present the same lease in their Hello")
-		jobEpoch = flag.Int64("lease-epoch", 0, "lease epoch handed out with -job; a worker presenting a stale epoch is rejected and told the current lease")
+		addr       = flag.String("addr", ":7070", "listen address")
+		devices    = flag.Int("devices", 3, "number of workers to wait for")
+		dataset    = flag.String("dataset", "synthetic", "synthetic | digits | fashion")
+		samples    = flag.Int("samples", 120, "image samples per class (image datasets)")
+		alg        = flag.String("alg", "sarah", "fedavg | fedprox | svrg | sarah")
+		beta       = flag.Float64("beta", 5, "step-size parameter β")
+		tau        = flag.Int("tau", 20, "local iterations τ")
+		mu         = flag.Float64("mu", 0.1, "proximal penalty μ")
+		batch      = flag.Int("batch", 16, "mini-batch size B")
+		rounds     = flag.Int("rounds", 50, "global iterations T")
+		fraction   = flag.Float64("fraction", 1, "fraction of workers contacted per round")
+		dropout    = flag.Float64("dropout", 0, "per-round simulated report-failure probability")
+		seed       = flag.Int64("seed", 2020, "shared experiment seed")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-message network timeout")
+		retries    = flag.Int("retries", 1, "per-round retries for a worker's application-level failure")
+		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before each retry")
+		quorum     = flag.Int("quorum", 1, "minimum workers that must report, or the round is skipped")
+		maxSkip    = flag.Int("max-failed-rounds", 3, "consecutive sub-quorum rounds tolerated before aborting")
+		admin      = flag.String("admin", "", "HTTP admin address serving /metrics, /healthz, /buildz, /debug/pprof/ (empty = off)")
+		staleAft   = flag.Duration("health-stale-after", 0, "/healthz reports stale (503) this long after the last round (0 = off)")
+		tracePth   = flag.String("trace", "", "write one JSONL system record per round to this path")
+		spansPth   = flag.String("trace-spans", "", "write a Chrome trace-event JSON (open in Perfetto) to this path")
+		spanLog    = flag.String("span-log", "", "write the span trace as JSONL to this path")
+		deadline   = flag.Duration("round-deadline", 0, "cut each round after this wall-clock budget (0 = wait for everyone)")
+		minRep     = flag.Int("min-report", 0, "cut each round once this many workers reported (0 = wait for everyone)")
+		codecStr   = flag.String("codec", "float64", "wire codec: float64 | float32 | int16 | int8 | topk-delta")
+		topkFrac   = flag.Float64("topk-frac", transport.DefaultTopKFraction, "fraction of delta coordinates kept per round under -codec topk-delta")
+		fanout     = flag.Int("tree-fanout", 0, "run an aggregation tree over this many shard nodes instead of flat workers (0 = flat)")
+		virtDev    = flag.Int("virtual-devices", 0, "total virtual devices the tree drives, split contiguously across the shard nodes (tree mode only)")
+		actProb    = flag.Float64("activate-prob", 0, "per-device per-round activation probability (0 = deterministic selection via -fraction)")
+		stateDir   = flag.String("state-dir", "", "durable job state directory: run the multi-job control plane (jobs submitted over -admin's /jobs API) instead of a single TCP round loop")
+		maxJobs    = flag.Int("max-jobs", 8, "live jobs admitted before POST /jobs returns 429 (with -state-dir)")
+		slots      = flag.Int("slots", 1, "jobs training a round concurrently (with -state-dir)")
+		jobLease   = flag.String("job", "", "lease this coordinator to one job ID; workers must present the same lease in their Hello")
+		jobEpoch   = flag.Int64("lease-epoch", 0, "lease epoch handed out with -job; a worker presenting a stale epoch is rejected and told the current lease")
+		telRounds  = flag.Int("telemetry-rounds", 512, "per-job telemetry ring size in rounds (with -state-dir; 0 disables convergence telemetry)")
+		dash       = flag.Bool("dash", true, "serve the live convergence dashboard at /dash on the admin endpoint (with -state-dir and telemetry on)")
+		lossRising = flag.Int("alert-loss-rising", 3, "fire loss_rising after this many consecutive train-loss rises (negative = off)")
+		gradEps    = flag.Float64("alert-grad-eps", 0, "grad_norm_stall floor ε: alert when ‖∇f‖² plateaus above it (0 = off)")
+		gradStall  = flag.Int("alert-grad-stall", 5, "rounds of ‖∇f‖² plateau above -alert-grad-eps before grad_norm_stall fires")
+		stragRatio = flag.Float64("alert-straggler-ratio", 0, "fire straggler_ratio when this share of the cohort is cut as stragglers (0 = off)")
 	)
 	flag.Parse()
 	if *stateDir != "" {
-		runJobsMode(*stateDir, *admin, *maxJobs, *slots)
+		var hub *telemetry.Hub
+		if *telRounds > 0 {
+			hub = telemetry.NewHub(telemetry.Options{
+				Rounds:     *telRounds,
+				StaleAfter: *staleAft,
+				Rules: telemetry.RuleConfig{
+					LossRisingK:    *lossRising,
+					GradStallEps:   *gradEps,
+					GradStallK:     *gradStall,
+					StragglerRatio: *stragRatio,
+				},
+			})
+		}
+		runJobsMode(*stateDir, *admin, *maxJobs, *slots, hub, *dash)
 		return
 	}
 	codec, err := transport.ParseCodec(*codecStr)
@@ -279,18 +299,32 @@ func main() {
 // finish, checkpoints are fsynced, running jobs yield back to PENDING — and
 // the process exits 0; a later incarnation (epoch bumped) resumes every
 // non-terminal job at its last completed round, bit-identical.
-func runJobsMode(stateDir, adminAddr string, maxJobs, slots int) {
+func runJobsMode(stateDir, adminAddr string, maxJobs, slots int, hub *telemetry.Hub, dash bool) {
 	if adminAddr == "" {
 		fatal(fmt.Errorf("-state-dir needs -admin (the /jobs API is served on the admin endpoint)"))
 	}
-	m, err := jobs.Open(jobs.Options{Dir: stateDir, MaxJobs: maxJobs, Slots: slots})
+	m, err := jobs.Open(jobs.Options{Dir: stateDir, MaxJobs: maxJobs, Slots: slots, Telemetry: hub})
 	if err != nil {
 		fatal(err)
 	}
 	jobsAPI := m.Handler()
+	extra := []obs.MetricsWriter{m, obs.RuntimeWriter{}}
+	mounts := map[string]http.Handler{"/jobs": jobsAPI, "/jobs/": jobsAPI}
+	endpoints := "/jobs, /metrics"
+	if hub != nil {
+		extra = append(extra, hub)
+		telAPI := hub.Handler()
+		mounts["/api/v1/"] = telAPI
+		endpoints += ", /api/v1/jobs"
+		if dash {
+			mounts["/dash"] = telAPI
+			mounts["/dash/"] = telAPI
+			endpoints += ", /dash"
+		}
+	}
 	adm := obs.NewAdmin(&obs.Registry{}, obs.AdminOptions{
-		Extra:  []obs.MetricsWriter{m},
-		Mounts: map[string]http.Handler{"/jobs": jobsAPI, "/jobs/": jobsAPI},
+		Extra:  extra,
+		Mounts: mounts,
 	})
 	ln, err := net.Listen("tcp", adminAddr)
 	if err != nil {
@@ -302,8 +336,8 @@ func runJobsMode(stateDir, adminAddr string, maxJobs, slots int) {
 			fmt.Fprintf(os.Stderr, "fedserver: admin endpoint: %v\n", err)
 		}
 	}()
-	fmt.Printf("fedserver: control plane epoch %d over %s — %d recovered job(s), admin http://%s (/jobs, /metrics)\n",
-		m.Epoch(), m.Dir(), len(m.List()), ln.Addr())
+	fmt.Printf("fedserver: control plane epoch %d over %s — %d recovered job(s), admin http://%s (%s)\n",
+		m.Epoch(), m.Dir(), len(m.List()), ln.Addr(), endpoints)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stopSignals()

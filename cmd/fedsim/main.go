@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	fedproxvr "fedproxvr"
 	"fedproxvr/internal/chaos"
@@ -26,6 +27,7 @@ import (
 	"fedproxvr/internal/clisetup"
 	"fedproxvr/internal/metrics"
 	"fedproxvr/internal/obs"
+	"fedproxvr/internal/telemetry"
 	"fedproxvr/internal/trace"
 	"fedproxvr/internal/transport"
 )
@@ -63,6 +65,7 @@ func main() {
 		codecStr  = flag.String("codec", "", "report wire-byte estimates for this codec (float64|float32|int16|int8|topk-delta); the in-process run itself is exact")
 		topkFrac  = flag.Float64("topk-frac", transport.DefaultTopKFraction, "fraction of delta coordinates kept under -codec topk-delta")
 		actProb   = flag.Float64("activate-prob", 0, "per-device per-round activation probability (0 = deterministic selection via -fraction)")
+		telEvents = flag.String("telemetry-events", "", "append convergence alert events (loss_rising, nan_inf, …) as JSONL to this path")
 	)
 	flag.Parse()
 	// Inverted comparisons so NaN is rejected too.
@@ -131,6 +134,23 @@ func main() {
 		summary = &obs.Summary{}
 		sinks = append(sinks, summary)
 	}
+	// Convergence telemetry: a per-run store ingests round stats through the
+	// same sink fan-out, a probe on the aggregator adds drift/variance
+	// diagnostics, and rule transitions append durably to the JSONL path.
+	var telStore *telemetry.JobStore
+	if *telEvents != "" {
+		hub := telemetry.NewHub(telemetry.Options{})
+		telStore = hub.Job(cfg.Name)
+		telStore.SetTarget(*rounds)
+		f, err := os.OpenFile(*telEvents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		telStore.SetEventLog(f)
+		sinks = append(sinks, telStore)
+		telemetry.Attach(r.Engine(), telStore)
+	}
 	var collector *obs.Collector
 	if len(sinks) > 0 {
 		collector = obs.NewCollector(sinks...)
@@ -190,6 +210,12 @@ func main() {
 	if failed := series.TotalFailed(); failed > 0 {
 		fmt.Fprintf(os.Stderr, "%s: %d device report failures across the run; last round aggregated %d participants\n",
 			cfg.Name, failed, last.Participants)
+	}
+	if telStore != nil {
+		if active, _ := telStore.Health(); len(active) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: ALERT still firing at end of run: %s (events in %s)\n",
+				cfg.Name, strings.Join(active, ","), *telEvents)
+		}
 	}
 	if summary != nil {
 		fmt.Fprintln(os.Stderr)

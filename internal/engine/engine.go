@@ -260,6 +260,31 @@ func (e *Engine) FlushStats(evalSeconds float64) {
 	e.stats.RecordRound(&e.rs)
 }
 
+// StampEval copies a measured point's convergence metrics (loss, test
+// accuracy, stationarity gap) into the in-flight round record, so sinks —
+// and the telemetry store built on them — see system accounting and
+// convergence in one record. Run calls it on evaluation rounds; drivers
+// that measure outside Run (internal/simnet) call it themselves before
+// FlushStats. No-op without a stats recorder, preserving the
+// observability-off alloc budget.
+func (e *Engine) StampEval(p metrics.Point) {
+	if e.stats == nil {
+		return
+	}
+	gn := p.GradNormSq
+	if gn == 0 {
+		// Mirror metrics.MeanGradNormSq: a zero GradNormSq means the round
+		// did not measure stationarity (TrackStationarity off), not a
+		// converged model — record "unmeasured", which marshals as null.
+		gn = math.NaN()
+	}
+	e.rs.Eval = &obs.EvalStats{
+		TrainLoss:  p.TrainLoss,
+		TestAcc:    p.TestAcc,
+		GradNormSq: gn,
+	}
+}
+
 // OnRound registers a hook called after every completed round, in
 // registration order. The returned function unregisters it (for callers
 // like internal/checkpoint that borrow an engine for one run); it is
@@ -504,6 +529,7 @@ func (e *Engine) Run(ctx context.Context) (*metrics.Series, error) {
 				evalSec = time.Since(t0).Seconds()
 			}
 			p.Participants, p.Failed = len(sel), failed
+			e.StampEval(p)
 			s.Append(p)
 		}
 		e.FlushStats(evalSec)

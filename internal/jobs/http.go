@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // Handler returns the job admin API, mounted on the obs admin mux:
@@ -47,6 +48,26 @@ func (m *Manager) Handler() http.Handler {
 		if st.State == Failed {
 			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("job %s FAILED: %s", st.ID, st.Error))
 			return
+		}
+		// With telemetry attached, a live job's probe degrades on firing
+		// alert rules, and a RUNNING job degrades when its ingest has gone
+		// stale (wedged run: slot starvation, stuck executor). Terminal and
+		// queued jobs are naturally quiet — only RUNNING is held to the
+		// staleness budget.
+		if hub := m.opt.Telemetry; hub != nil {
+			if js, ok := hub.Get(st.ID); ok {
+				active, stale := js.Health()
+				if !st.State.Terminal() && len(active) > 0 {
+					httpError(w, http.StatusServiceUnavailable,
+						fmt.Errorf("job %s %s: alerts firing: %s", st.ID, st.State, strings.Join(active, ",")))
+					return
+				}
+				if st.State == Running && stale {
+					httpError(w, http.StatusServiceUnavailable,
+						fmt.Errorf("job %s RUNNING but telemetry ingest is stale", st.ID))
+					return
+				}
+			}
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok %s round %d/%d\n", st.State, st.Round, st.Rounds)

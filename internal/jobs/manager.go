@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"fedproxvr/internal/checkpoint"
 	"fedproxvr/internal/engine"
 	"fedproxvr/internal/metrics"
+	"fedproxvr/internal/telemetry"
 )
 
 // ErrSaturated is returned by Submit when the fleet already holds MaxJobs
@@ -40,6 +42,14 @@ type Options struct {
 	// RetryAfter is the client backoff hint returned with ErrSaturated
 	// (the HTTP Retry-After header). 0 defaults to 1s.
 	RetryAfter time.Duration
+	// Telemetry, when set, gives every job a round-indexed store in the
+	// hub: the engine's stats path feeds it, a telemetry.Probe wraps the
+	// job's aggregator for drift diagnostics, alert events mirror to
+	// events.jsonl in the job's state directory, and /jobs/{id}/healthz
+	// degrades to 503 while a RUNNING job has firing alerts or a stale
+	// ingest (the hub's StaleAfter). Nil disables all of it — jobs run the
+	// identical stats-free round loop.
+	Telemetry *telemetry.Hub
 }
 
 func (o Options) withDefaults() Options {
@@ -77,10 +87,11 @@ type Manager struct {
 	store *Store
 	epoch int64
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // registration order, for stable listings
-	seq   int      // per-incarnation counter for assigned IDs
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string        // registration order, for stable listings
+	seq         int             // per-incarnation counter for assigned IDs
+	transitions map[State]int64 // lifetime transition counts by target state
 
 	slots  chan struct{} // counting semaphore; senders queue FIFO
 	ctx    context.Context
@@ -106,13 +117,14 @@ func Open(opt Options) (*Manager, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		opt:   opt,
-		store: store,
-		epoch: epoch,
-		jobs:  make(map[string]*job),
-		slots: make(chan struct{}, opt.Slots),
-		ctx:   ctx,
-		stop:  cancel,
+		opt:         opt,
+		store:       store,
+		epoch:       epoch,
+		jobs:        make(map[string]*job),
+		transitions: make(map[State]int64),
+		slots:       make(chan struct{}, opt.Slots),
+		ctx:         ctx,
+		stop:        cancel,
 	}
 	ids, err := store.List()
 	if err != nil {
@@ -177,6 +189,10 @@ func (m *Manager) transitionLocked(j *job, to State, errMsg string) error {
 	j.manifest.State = to
 	j.manifest.Epoch = m.epoch
 	j.manifest.Error = errMsg
+	// Monotonic per-target-state counters: the fed_jobs_state gauges show
+	// where jobs are now, these show how many transitions ever happened —
+	// the rate-able series a scrape reader alerts on.
+	m.transitions[to]++
 	return m.store.SaveManifest(&j.manifest)
 }
 
@@ -355,6 +371,30 @@ func (m *Manager) train(ctx context.Context, j *job) error {
 		return err
 	}
 	eng := r.Engine()
+	if hub := m.opt.Telemetry; hub != nil {
+		rules := hub.DefaultRules()
+		if j.spec.MinParticipants > 1 {
+			// The job's own quorum floor becomes its quorum_miss threshold.
+			rules.QuorumMin = j.spec.MinParticipants
+		}
+		js := hub.JobWithRules(j.spec.ID, rules)
+		js.SetTarget(j.spec.Rounds)
+		if dir, derr := m.store.JobDir(j.spec.ID); derr == nil {
+			// Durable alert trail next to the job's checkpoints; append mode
+			// so a resumed job extends, never truncates, its history.
+			f, ferr := os.OpenFile(filepath.Join(dir, "events.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if ferr != nil {
+				return ferr
+			}
+			js.SetEventLog(f)
+			defer f.Close()
+		}
+		eng.SetStats(js)
+		// The probe wraps whatever the spec installed (including the quorum
+		// gate), so a vetoed round is still measured as the cohort that
+		// reported.
+		telemetry.Attach(eng, js)
+	}
 	var prefix []metrics.Point
 	if st, err := m.store.LoadCheckpoint(j.spec.ID); err == nil {
 		if len(st.Global) != len(r.Global()) {

@@ -60,7 +60,16 @@ func TestSoakRestart(t *testing.T) {
 		want[sp.ID] = directRun(t, sp)
 	}
 
+	// SOAK_STATE_DIR pins the durable state to a known path so CI can
+	// upload the per-job telemetry trails (events.jsonl) as an artifact
+	// after the run; unset, the state dies with the test.
 	stateDir := t.TempDir()
+	if v := os.Getenv("SOAK_STATE_DIR"); v != "" {
+		if err := os.MkdirAll(v, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		stateDir = v
+	}
 	addr := freeAddr(t)
 	base := "http://" + addr
 
@@ -143,6 +152,15 @@ func TestSoakRestart(t *testing.T) {
 		}
 		if !reflect.DeepEqual(ck.Global, want[sp.ID]) {
 			t.Fatalf("job %s not bit-identical after %d kills", sp.ID, kills)
+		}
+	}
+
+	// The coordinator runs with convergence telemetry on by default, so
+	// every job leaves a durable alert trail next to its checkpoints —
+	// CI uploads these as the soak's telemetry artifact.
+	for _, sp := range specs {
+		if _, err := os.Stat(filepath.Join(stateDir, sp.ID, "events.jsonl")); err != nil {
+			t.Fatalf("job %s telemetry trail missing: %v", sp.ID, err)
 		}
 	}
 

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text-exposition body against the
+// promlint-style hygiene rules this repo holds every fed_* series to, and
+// returns one message per violation (empty slice = clean):
+//
+//   - every sample's metric family is preceded by a # HELP and a # TYPE
+//     line for that family (histogram/summary series check against their
+//     base family name, i.e. fed_client_seconds_bucket → fed_client_seconds);
+//   - HELP and TYPE are declared at most once per family, and TYPE names a
+//     known metric type;
+//   - counter families end in _total (and gauges do not), so a scrape
+//     reader can tell rate-able series from instantaneous ones by name;
+//   - sample lines parse (a name, optional {labels}, and a value).
+//
+// It is exported (rather than test-local) so the exposition tests of the
+// jobs control plane and the telemetry hub hold their own WritePrometheus
+// output to the identical rules.
+func LintExposition(body string) []string {
+	var problems []string
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	validTypes := map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				problems = append(problems, fmt.Sprintf("line %d: HELP without a docstring: %q", lineNo, line))
+				continue
+			}
+			if helpSeen[name] {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate HELP for %s", lineNo, name))
+			}
+			helpSeen[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validTypes[typ] {
+				problems = append(problems, fmt.Sprintf("line %d: bad TYPE line: %q", lineNo, line))
+				continue
+			}
+			if _, dup := typeSeen[name]; dup {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+			}
+			typeSeen[name] = typ
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				problems = append(problems, fmt.Sprintf("line %d: counter %s should end in _total", lineNo, name))
+			}
+			if typ == "gauge" && strings.HasSuffix(name, "_total") {
+				problems = append(problems, fmt.Sprintf("line %d: gauge %s should not end in _total", lineNo, name))
+			}
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and unchecked.
+		default:
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			if name == "" || !strings.Contains(line, " ") {
+				problems = append(problems, fmt.Sprintf("line %d: unparseable sample line: %q", lineNo, line))
+				continue
+			}
+			family := baseFamily(name)
+			if !helpSeen[family] {
+				problems = append(problems, fmt.Sprintf("line %d: sample %s has no preceding # HELP %s", lineNo, name, family))
+				helpSeen[family] = true // report each missing family once
+			}
+			if _, ok := typeSeen[family]; !ok {
+				problems = append(problems, fmt.Sprintf("line %d: sample %s has no preceding # TYPE %s", lineNo, name, family))
+				typeSeen[family] = "untyped"
+			}
+		}
+	}
+	return problems
+}
+
+// baseFamily strips the histogram/summary sample suffixes so
+// fed_client_seconds_bucket resolves to the fed_client_seconds family.
+func baseFamily(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			return base
+		}
+	}
+	return name
+}

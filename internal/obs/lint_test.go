@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLintExpositionViolations drives the linter over hand-built bodies and
+// asserts each hygiene rule actually trips — the linter is load-bearing for
+// three packages' exposition tests, so its own behavior is pinned here.
+func TestLintExpositionViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []string // substring expected in some problem; empty = clean
+	}{
+		{
+			name: "clean body passes",
+			body: "# HELP fed_x_total Things.\n# TYPE fed_x_total counter\nfed_x_total 3\n",
+		},
+		{
+			name: "sample without HELP",
+			body: "# TYPE fed_x gauge\nfed_x 1\n",
+			want: []string{"no preceding # HELP fed_x"},
+		},
+		{
+			name: "sample without TYPE",
+			body: "# HELP fed_x Things.\nfed_x 1\n",
+			want: []string{"no preceding # TYPE fed_x"},
+		},
+		{
+			name: "counter not ending in _total",
+			body: "# HELP fed_x Things.\n# TYPE fed_x counter\nfed_x 1\n",
+			want: []string{"counter fed_x should end in _total"},
+		},
+		{
+			name: "gauge ending in _total",
+			body: "# HELP fed_x_total Things.\n# TYPE fed_x_total gauge\nfed_x_total 1\n",
+			want: []string{"gauge fed_x_total should not end in _total"},
+		},
+		{
+			name: "duplicate HELP and TYPE",
+			body: "# HELP fed_x Things.\n# HELP fed_x Again.\n# TYPE fed_x gauge\n# TYPE fed_x gauge\nfed_x 1\n",
+			want: []string{"duplicate HELP for fed_x", "duplicate TYPE for fed_x"},
+		},
+		{
+			name: "unknown TYPE",
+			body: "# HELP fed_x Things.\n# TYPE fed_x enum\nfed_x 1\n",
+			want: []string{"bad TYPE line"},
+		},
+		{
+			name: "histogram samples resolve to base family",
+			body: "# HELP fed_h Hist.\n# TYPE fed_h histogram\n" +
+				"fed_h_bucket{le=\"1\"} 0\nfed_h_bucket{le=\"+Inf\"} 2\nfed_h_sum 3\nfed_h_count 2\n",
+		},
+		{
+			name: "unparseable sample line",
+			body: "# HELP fed_x Things.\n# TYPE fed_x gauge\nfed_x\n",
+			want: []string{"unparseable sample line"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := LintExposition(tc.body)
+			if len(tc.want) == 0 {
+				if len(problems) != 0 {
+					t.Fatalf("expected clean, got %v", problems)
+				}
+				return
+			}
+			joined := strings.Join(problems, "\n")
+			for _, w := range tc.want {
+				if !strings.Contains(joined, w) {
+					t.Fatalf("problems %v missing %q", problems, w)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryExpositionLintClean holds the engine registry's own /metrics
+// body to the same rules the jobs and telemetry expositions are held to.
+func TestRegistryExpositionLintClean(t *testing.T) {
+	var reg Registry
+	reg.RecordRound(sampleRound(1))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintExposition(buf.String()); len(problems) != 0 {
+		t.Fatalf("registry exposition lint: %v", problems)
+	}
+}
+
+// TestRuntimeWriterExposition: the Go runtime series are lint-clean, carry
+// plausible live values, and riding them on /metrics via AdminOptions.Extra
+// leaves the registry's deterministic prefix intact.
+func TestRuntimeWriterExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (RuntimeWriter{}).WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if problems := LintExposition(body); len(problems) != 0 {
+		t.Fatalf("runtime exposition lint: %v", problems)
+	}
+	for _, name := range []string{
+		"fed_go_goroutines ", "fed_go_heap_inuse_bytes ", "fed_go_heap_objects ",
+		"fed_go_gc_pause_seconds_total ", "fed_go_gc_cycles_total ",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("runtime exposition missing %q:\n%s", name, body)
+		}
+	}
+	// A live process always has at least this test's goroutine.
+	if strings.Contains(body, "fed_go_goroutines 0\n") {
+		t.Fatal("goroutine gauge reads 0 in a running process")
+	}
+
+	var reg Registry
+	reg.RecordRound(sampleRound(1))
+	var regOnly bytes.Buffer
+	if err := reg.WritePrometheus(&regOnly); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAdminMux(&reg, AdminOptions{Extra: []MetricsWriter{RuntimeWriter{}}}))
+	defer srv.Close()
+	code, merged := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(merged, regOnly.String()) {
+		t.Fatal("registry exposition is no longer the deterministic prefix of /metrics")
+	}
+	if !strings.Contains(merged, "fed_go_goroutines") {
+		t.Fatal("runtime series missing from merged /metrics")
+	}
+	if problems := LintExposition(merged); len(problems) != 0 {
+		t.Fatalf("merged /metrics lint: %v", problems)
+	}
+}

@@ -13,6 +13,8 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
+	"strconv"
 	"sync"
 )
 
@@ -78,8 +80,44 @@ type RoundStats struct {
 	// SimSeconds is the simulated clock after this round (simnet backend
 	// only; zero elsewhere).
 	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// Eval carries the server-side convergence measurements of an
+	// evaluation round (engine.Run and simnet.Train stamp it via
+	// Engine.StampEval). Nil on rounds that did not measure, so the
+	// system record stays pure accounting on non-eval rounds.
+	Eval *EvalStats `json:"eval,omitempty"`
 	// Clients holds per-participant latencies, in fan-out order.
 	Clients []ClientStat `json:"clients,omitempty"`
+}
+
+// EvalStats is the convergence slice of a round record: the objective
+// F̄(w), test accuracy, and the stationarity gap ‖∇F̄(w)‖² of eq. (12).
+// Unmeasured entries are NaN (e.g. TestAcc without a test set).
+type EvalStats struct {
+	TrainLoss  float64
+	TestAcc    float64
+	GradNormSq float64
+}
+
+// MarshalJSON renders NaN/±Inf as null: the JSONL sink feeds the record
+// straight to encoding/json, which rejects non-finite floats, and a run
+// without a test set must not poison the whole trace line.
+func (ev EvalStats) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = append(b, `{"train_loss":`...)
+	b = appendJSONFloat(b, ev.TrainLoss)
+	b = append(b, `,"test_acc":`...)
+	b = appendJSONFloat(b, ev.TestAcc)
+	b = append(b, `,"grad_norm_sq":`...)
+	b = appendJSONFloat(b, ev.GradNormSq)
+	return append(b, '}'), nil
+}
+
+// appendJSONFloat appends v as a JSON number, or null when non-finite.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
 // Reset clears the record for the next round, keeping the Clients backing

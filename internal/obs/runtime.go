@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// RuntimeWriter exposes the coordinator process's own Go runtime health on
+// /metrics — fleet operators watching a long-lived control plane need to
+// see its memory and scheduler state, not just the training rounds. It is
+// a MetricsWriter so the cmds append it to the admin mux via
+// AdminOptions.Extra; the exposition golden for the Registry itself stays
+// deterministic because these nondeterministic series ride separately.
+type RuntimeWriter struct{}
+
+// WritePrometheus implements MetricsWriter.
+func (RuntimeWriter) WritePrometheus(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP fed_go_goroutines Goroutines currently live in the coordinator process.\n# TYPE fed_go_goroutines gauge\nfed_go_goroutines %d\n",
+		runtime.NumGoroutine())
+	p("# HELP fed_go_heap_inuse_bytes Heap bytes in live spans (runtime.MemStats.HeapInuse).\n# TYPE fed_go_heap_inuse_bytes gauge\nfed_go_heap_inuse_bytes %d\n",
+		ms.HeapInuse)
+	p("# HELP fed_go_heap_objects Live heap objects (runtime.MemStats.HeapObjects).\n# TYPE fed_go_heap_objects gauge\nfed_go_heap_objects %d\n",
+		ms.HeapObjects)
+	p("# HELP fed_go_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n# TYPE fed_go_gc_pause_seconds_total counter\nfed_go_gc_pause_seconds_total %g\n",
+		float64(ms.PauseTotalNs)/1e9)
+	p("# HELP fed_go_gc_cycles_total Completed GC cycles.\n# TYPE fed_go_gc_cycles_total counter\nfed_go_gc_cycles_total %d\n",
+		ms.NumGC)
+	return err
+}

@@ -246,6 +246,12 @@ func Train(r *core.Runner, fleet *Fleet, measureEvery int) (*TimedSeries, error)
 		if cfg.TrackStationarity {
 			p.GradNormSq = ev.GradNormSq(w)
 		}
+		if round > 0 {
+			// Stamp convergence metrics into the in-flight round record so
+			// stats sinks (and the telemetry store) see them; round 0 has no
+			// in-flight round.
+			eng.StampEval(p)
+		}
 		out.Points = append(out.Points, TimedPoint{Time: tx.Now(), Point: p})
 	}
 	measure(0, 0, 0)

@@ -1,0 +1,17 @@
+package telemetry
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashHTML is the entire dashboard: one self-contained page, no external
+// assets, no build step — vanilla JS over the hub's own JSON + SSE API.
+//
+//go:embed dash.html
+var dashHTML []byte
+
+func serveDash(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(dashHTML)
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// jobSummary is one row of GET /api/v1/jobs.
+type jobSummary struct {
+	ID           string           `json:"id"`
+	Rounds       int64            `json:"rounds"`
+	LastRound    int              `json:"last_round"`
+	TargetRounds int              `json:"target_rounds"`
+	ActiveAlerts []string         `json:"active_alerts"`
+	AlertsTotal  map[string]int64 `json:"alerts_total"`
+	Stale        bool             `json:"stale"`
+}
+
+// Handler returns the telemetry HTTP surface:
+//
+//	GET /api/v1/jobs                     job list with alert summaries
+//	GET /api/v1/jobs/{id}/series        round-indexed samples; ?from=&to=&limit= by round
+//	GET /api/v1/jobs/{id}/events        alert transitions; ?from=&to= by round
+//	GET /api/v1/jobs/{id}/live          text/event-stream: backlog then live rounds
+//	GET /dash                            embedded zero-dependency dashboard
+//
+// Mount it on the admin mux under /api/v1/ and /dash (obs.AdminOptions
+// Mounts does both).
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/jobs", h.serveJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/series", h.serveSeries)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", h.serveEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/live", h.serveLive)
+	mux.HandleFunc("GET /dash", serveDash)
+	mux.HandleFunc("GET /dash/", serveDash)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+func (h *Hub) serveJobs(w http.ResponseWriter, r *http.Request) {
+	out := make([]jobSummary, 0, 8)
+	for _, id := range h.List() {
+		js, ok := h.Get(id)
+		if !ok {
+			continue
+		}
+		active, stale := js.Health()
+		if active == nil {
+			active = []string{}
+		}
+		c := js.snapshot()
+		last := 0
+		if s, ok := js.Latest(); ok {
+			last = s.Round
+		}
+		out = append(out, jobSummary{
+			ID: id, Rounds: c.ingested, LastRound: last, TargetRounds: js.Target(),
+			ActiveAlerts: active, AlertsTotal: c.alertsTotal, Stale: stale,
+		})
+	}
+	writeJSON(w, map[string]any{"jobs": out})
+}
+
+// queryInt parses an optional integer query parameter, returning def when
+// absent and an error on garbage.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: not an integer", key, v)
+	}
+	return n, nil
+}
+
+func (h *Hub) store(w http.ResponseWriter, r *http.Request) *JobStore {
+	id := r.PathValue("id")
+	js, ok := h.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no telemetry for job %q", id), http.StatusNotFound)
+		return nil
+	}
+	return js
+}
+
+func (h *Hub) serveSeries(w http.ResponseWriter, r *http.Request) {
+	js := h.store(w, r)
+	if js == nil {
+		return
+	}
+	from, err := queryInt(r, "from", 0)
+	if err == nil {
+		var to, limit int
+		if to, err = queryInt(r, "to", 0); err == nil {
+			limit, err = queryInt(r, "limit", 0)
+			if err == nil {
+				samples := js.Series(from, to, limit)
+				writeJSON(w, map[string]any{
+					"job": js.ID(), "target_rounds": js.Target(),
+					"from": from, "to": to, "samples": samples,
+				})
+				return
+			}
+		}
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func (h *Hub) serveEvents(w http.ResponseWriter, r *http.Request) {
+	js := h.store(w, r)
+	if js == nil {
+		return
+	}
+	from, err := queryInt(r, "from", 0)
+	if err == nil {
+		var to int
+		if to, err = queryInt(r, "to", 0); err == nil {
+			writeJSON(w, map[string]any{"job": js.ID(), "events": js.Events(from, to)})
+			return
+		}
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// serveLive is the SSE feed: a hello event, the retained backlog (samples
+// then events, oldest first), then live rounds as they are ingested. Live
+// messages are delivered in ingest order — each round's sample precedes
+// the alert transitions that round caused.
+func (h *Hub) serveLive(w http.ResponseWriter, r *http.Request) {
+	js := h.store(w, r)
+	if js == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	send := func(event string, data []byte) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	}
+
+	// Subscribe BEFORE snapshotting the backlog so no round falls in the
+	// gap; rounds that race the snapshot are delivered twice at worst, and
+	// clients dedupe by round/seq.
+	id, ch := js.subscribe()
+	defer js.unsubscribe(id)
+
+	hello, _ := json.Marshal(map[string]any{"job": js.ID(), "target_rounds": js.Target()})
+	send("hello", hello)
+	for _, s := range js.Series(0, 0, 0) {
+		if b, err := json.Marshal(s); err == nil {
+			send("sample", b)
+		}
+	}
+	for _, e := range js.Events(0, 0) {
+		if b, err := json.Marshal(e); err == nil {
+			send("alert", b)
+		}
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case m := <-ch:
+			send(m.event, m.data)
+			// Drain whatever else is queued before flushing once.
+			for {
+				select {
+				case m = <-ch:
+					send(m.event, m.data)
+					continue
+				default:
+				}
+				break
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus implements obs.MetricsWriter: the hub's alert counters
+// in Prometheus text exposition 0.0.4, deterministically ordered (jobs in
+// creation order, rules in fixed rule order) so scrapes — and golden tests
+// — are stable. Families:
+//
+//	fed_alert_total{job,rule}              counter: times each rule fired
+//	fed_alert_active{job,rule}             gauge: 1 while firing
+//	fed_alert_events_total{job}            counter: fire+clear transitions
+//	fed_telemetry_rounds_ingested_total{job} counter: rounds in the store
+//	fed_telemetry_client_seconds{job}      histogram: client latencies
+func (h *Hub) WritePrometheus(w io.Writer) error {
+	ids := h.List()
+	type row struct {
+		id string
+		c  counters
+	}
+	rows := make([]row, 0, len(ids))
+	for _, id := range ids {
+		js, ok := h.Get(id)
+		if !ok {
+			continue
+		}
+		rows = append(rows, row{id: id, c: js.snapshot()})
+	}
+
+	bw := &errWriter{w: w}
+	bw.printf("# HELP fed_alert_total Times each telemetry alert rule transitioned to firing, per job.\n")
+	bw.printf("# TYPE fed_alert_total counter\n")
+	for _, r := range rows {
+		for _, rule := range RuleNames {
+			bw.printf("fed_alert_total{job=%q,rule=%q} %d\n", r.id, rule, r.c.alertsTotal[rule])
+		}
+	}
+	bw.printf("# HELP fed_alert_active Whether a telemetry alert rule is currently firing (1) or not (0), per job.\n")
+	bw.printf("# TYPE fed_alert_active gauge\n")
+	for _, r := range rows {
+		for _, rule := range RuleNames {
+			v := 0
+			if r.c.active[rule] {
+				v = 1
+			}
+			bw.printf("fed_alert_active{job=%q,rule=%q} %d\n", r.id, rule, v)
+		}
+	}
+	bw.printf("# HELP fed_alert_events_total Alert state transitions (fires plus clears) emitted, per job.\n")
+	bw.printf("# TYPE fed_alert_events_total counter\n")
+	for _, r := range rows {
+		bw.printf("fed_alert_events_total{job=%q} %d\n", r.id, r.c.eventsTotal)
+	}
+	bw.printf("# HELP fed_telemetry_rounds_ingested_total Rounds ingested into the telemetry store, per job.\n")
+	bw.printf("# TYPE fed_telemetry_rounds_ingested_total counter\n")
+	for _, r := range rows {
+		bw.printf("fed_telemetry_rounds_ingested_total{job=%q} %d\n", r.id, r.c.ingested)
+	}
+	bw.printf("# HELP fed_telemetry_client_seconds Per-client round latencies observed by the telemetry store (log-bucketed), per job.\n")
+	bw.printf("# TYPE fed_telemetry_client_seconds histogram\n")
+	for _, r := range rows {
+		var cum int64
+		for i, bound := range latBounds {
+			cum += r.c.latCounts[i]
+			bw.printf("fed_telemetry_client_seconds_bucket{job=%q,le=%q} %d\n",
+				r.id, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += r.c.latCounts[len(latBounds)]
+		bw.printf("fed_telemetry_client_seconds_bucket{job=%q,le=\"+Inf\"} %d\n", r.id, cum)
+		bw.printf("fed_telemetry_client_seconds_sum{job=%q} %g\n", r.id, r.c.latSum)
+		bw.printf("fed_telemetry_client_seconds_count{job=%q} %d\n", r.id, r.c.latN)
+	}
+	return bw.err
+}
+
+// errWriter is a sticky-error printf target so the exposition writer reads
+// as straight-line code.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

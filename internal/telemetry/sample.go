@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+)
+
+func nan() float64 { return math.NaN() }
+
+// Sample is one round of a job's telemetry window: the system accounting
+// of obs.RoundStats, the convergence measurements of an evaluation round,
+// and the probe's client-drift diagnostics. Unmeasured floats are NaN and
+// marshal as JSON null, so consumers can tell "not measured this round"
+// from a real zero.
+type Sample struct {
+	Round    int
+	AtUnixMs int64 // wall-clock ingest time (milliseconds)
+
+	// System accounting (see obs.RoundStats for semantics).
+	Participants int
+	Failed       int
+	Stragglers   int
+	Dropouts     int
+	Retries      int
+	Rejoins      int
+	GradEvals    int64
+	BytesSent    int64
+	BytesRecv    int64
+
+	SelectSeconds float64
+	ExecSeconds   float64
+	AggSeconds    float64
+	EvalSeconds   float64
+	SimSeconds    float64 // simnet backend only; NaN elsewhere
+
+	// Per-round client round-trip latency percentiles (nearest rank over
+	// the round's reporting cohort); NaN when the backend reports no
+	// per-client stats.
+	LatP50 float64
+	LatP90 float64
+	LatP99 float64
+
+	// Convergence measurements (NaN on rounds that did not evaluate).
+	TrainLoss  float64
+	TestAcc    float64
+	GradNormSq float64 // ‖∇F̄(w)‖², the eq. (12) stationarity gap
+
+	// Probe diagnostics (NaN when no Probe wraps the aggregator, or when
+	// the round aggregated nothing). Drift* are statistics of ‖w_n − w‖
+	// across the reporting cohort — the client dissimilarity FedProx's μ
+	// term penalizes; UpdateVar is the empirical across-client variance
+	// (1/k)Σ‖Δ_n − Δ̄‖² of the local updates Δ_n = w_n − w, the quantity
+	// the VR estimators are supposed to shrink relative to the mean
+	// update's magnitude UpdateNorm = ‖Δ̄‖.
+	DriftMean  float64
+	DriftMax   float64
+	UpdateVar  float64
+	UpdateNorm float64
+
+	// NonFinite is true when the aggregated global model contains a NaN
+	// or ±Inf coordinate after this round (probe only).
+	NonFinite bool
+}
+
+// sampleJSON is the wire shape: field order fixed by the struct, NaN/Inf
+// floats as null via pointers.
+type sampleJSON struct {
+	Round         int      `json:"round"`
+	AtUnixMs      int64    `json:"at_unix_ms"`
+	Participants  int      `json:"participants"`
+	Failed        int      `json:"failed"`
+	Stragglers    int      `json:"stragglers"`
+	Dropouts      int      `json:"dropouts"`
+	Retries       int      `json:"retries"`
+	Rejoins       int      `json:"rejoins"`
+	GradEvals     int64    `json:"grad_evals"`
+	BytesSent     int64    `json:"bytes_sent"`
+	BytesRecv     int64    `json:"bytes_recv"`
+	SelectSeconds float64  `json:"select_seconds"`
+	ExecSeconds   float64  `json:"exec_seconds"`
+	AggSeconds    float64  `json:"agg_seconds"`
+	EvalSeconds   float64  `json:"eval_seconds"`
+	SimSeconds    *float64 `json:"sim_seconds"`
+	LatP50        *float64 `json:"lat_p50"`
+	LatP90        *float64 `json:"lat_p90"`
+	LatP99        *float64 `json:"lat_p99"`
+	TrainLoss     *float64 `json:"train_loss"`
+	TestAcc       *float64 `json:"test_acc"`
+	GradNormSq    *float64 `json:"grad_norm_sq"`
+	DriftMean     *float64 `json:"drift_mean"`
+	DriftMax      *float64 `json:"drift_max"`
+	UpdateVar     *float64 `json:"update_var"`
+	UpdateNorm    *float64 `json:"update_norm"`
+	NonFinite     bool     `json:"non_finite"`
+}
+
+// fptr maps a possibly-unmeasured float to its JSON form: nil (null) for
+// NaN/±Inf, else a pointer to the value.
+func fptr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// MarshalJSON implements json.Marshaler with NaN-safe, fixed-order output.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleJSON{
+		Round: s.Round, AtUnixMs: s.AtUnixMs,
+		Participants: s.Participants, Failed: s.Failed, Stragglers: s.Stragglers,
+		Dropouts: s.Dropouts, Retries: s.Retries, Rejoins: s.Rejoins,
+		GradEvals: s.GradEvals, BytesSent: s.BytesSent, BytesRecv: s.BytesRecv,
+		SelectSeconds: s.SelectSeconds, ExecSeconds: s.ExecSeconds,
+		AggSeconds: s.AggSeconds, EvalSeconds: s.EvalSeconds,
+		SimSeconds: fptr(s.SimSeconds),
+		LatP50:     fptr(s.LatP50), LatP90: fptr(s.LatP90), LatP99: fptr(s.LatP99),
+		TrainLoss: fptr(s.TrainLoss), TestAcc: fptr(s.TestAcc), GradNormSq: fptr(s.GradNormSq),
+		DriftMean: fptr(s.DriftMean), DriftMax: fptr(s.DriftMax),
+		UpdateVar: fptr(s.UpdateVar), UpdateNorm: fptr(s.UpdateNorm),
+		NonFinite: s.NonFinite,
+	})
+}
+
+// UnmarshalJSON is the inverse (null → NaN); consumers of the API can
+// round-trip samples.
+func (s *Sample) UnmarshalJSON(b []byte) error {
+	var sj sampleJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return err
+	}
+	deref := func(p *float64) float64 {
+		if p == nil {
+			return math.NaN()
+		}
+		return *p
+	}
+	*s = Sample{
+		Round: sj.Round, AtUnixMs: sj.AtUnixMs,
+		Participants: sj.Participants, Failed: sj.Failed, Stragglers: sj.Stragglers,
+		Dropouts: sj.Dropouts, Retries: sj.Retries, Rejoins: sj.Rejoins,
+		GradEvals: sj.GradEvals, BytesSent: sj.BytesSent, BytesRecv: sj.BytesRecv,
+		SelectSeconds: sj.SelectSeconds, ExecSeconds: sj.ExecSeconds,
+		AggSeconds: sj.AggSeconds, EvalSeconds: sj.EvalSeconds,
+		SimSeconds: deref(sj.SimSeconds),
+		LatP50:     deref(sj.LatP50), LatP90: deref(sj.LatP90), LatP99: deref(sj.LatP99),
+		TrainLoss: deref(sj.TrainLoss), TestAcc: deref(sj.TestAcc), GradNormSq: deref(sj.GradNormSq),
+		DriftMean: deref(sj.DriftMean), DriftMax: deref(sj.DriftMax),
+		UpdateVar: deref(sj.UpdateVar), UpdateNorm: deref(sj.UpdateNorm),
+		NonFinite: sj.NonFinite,
+	}
+	return nil
+}
